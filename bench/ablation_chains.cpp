@@ -1,0 +1,61 @@
+// Ablation: chain granularity of the hybrid scheme. The chain leader is the
+// hardware's only remap point (paper Figure 3/4): marking leaders on every
+// tiny chain turns VC into a per-op hardware balancer (more remaps, least
+// locality), while requiring very long chains freezes the mapping (fewest
+// remaps, worst balance). DESIGN.md calls this knob out as the key design
+// choice of the software side.
+//
+// Usage: ablation_chains [--quick]
+#include <cstring>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcsteer;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  stats::Table table(
+      "VC chain-granularity sweep (2 clusters, 2 VCs): min chain size for a "
+      "leader mark");
+  table.set_columns({"min chain", "avg slowdown vs OP (%)", "copies/kuop",
+                     "alloc stalls/kuop"});
+
+  // Per-trace OP baselines.
+  std::vector<double> base_ipc;
+  for (const auto& profile : workload::smoke_profiles()) {
+    harness::TraceExperiment experiment(profile, machine, budget);
+    base_ipc.push_back(experiment.run({steer::Scheme::kOp, 0}).ipc);
+  }
+
+  for (const std::uint32_t min_chain : {1u, 2u, 3u, 6u, 12u, 48u}) {
+    double slow = 0, copies = 0, alloc = 0;
+    std::size_t t = 0;
+    for (const auto& profile : workload::smoke_profiles()) {
+      harness::TraceExperiment experiment(profile, machine, budget);
+      harness::SchemeSpec spec{steer::Scheme::kVc, 2};
+      spec.vc_min_leader_chain = min_chain;
+      const harness::RunResult r = experiment.run(spec);
+      slow += stats::slowdown_pct(base_ipc[t], r.ipc);
+      copies += r.copies_per_kuop;
+      alloc += r.alloc_stalls_per_kuop;
+      ++t;
+    }
+    const auto n = static_cast<double>(t);
+    table.row()
+        .add(std::uint64_t{min_chain})
+        .add(slow / n, 2)
+        .add(copies / n, 1)
+        .add(alloc / n, 1);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: inter-cluster link latency sweep (design-space check called out
+// in DESIGN.md). Table 2 fixes the link at 1 cycle; this sweep shows how
+// the schemes separate as communication gets more expensive — copy-heavy
+// schemes degrade faster, stall-over-steer (OP) and chain locality (VC)
+// degrade slowest.
+//
+// Usage: ablation_interconnect [--quick]
+#include <cstring>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcsteer;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  stats::Table table(
+      "Link-latency sweep, 2 clusters: avg slowdown vs OP@1cycle (%)");
+  table.set_columns({"link cycles", "OP", "OB", "RHOP", "VC"});
+
+  const std::vector<harness::SchemeSpec> specs = {
+      {steer::Scheme::kOp, 0},
+      {steer::Scheme::kOb, 0},
+      {steer::Scheme::kRhop, 0},
+      {steer::Scheme::kVc, 2},
+  };
+
+  // Baseline IPCs at link latency 1 (OP), per trace.
+  std::vector<double> base_ipc;
+  {
+    const MachineConfig machine = MachineConfig::two_cluster();
+    for (const auto& profile : workload::smoke_profiles()) {
+      harness::TraceExperiment experiment(profile, machine, budget);
+      base_ipc.push_back(experiment.run(specs[0]).ipc);
+    }
+  }
+
+  for (const std::uint32_t link : {1u, 2u, 4u, 8u}) {
+    MachineConfig machine = MachineConfig::two_cluster();
+    machine.link_latency = link;
+    double sums[4] = {};
+    std::size_t t = 0;
+    for (const auto& profile : workload::smoke_profiles()) {
+      harness::TraceExperiment experiment(profile, machine, budget);
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const harness::RunResult r = experiment.run(specs[s]);
+        sums[s] += stats::slowdown_pct(base_ipc[t], r.ipc);
+      }
+      ++t;
+    }
+    table.row().add(std::uint64_t{link});
+    for (double sum : sums) table.add(sum / static_cast<double>(t), 2);
+  }
+  table.print(std::cout);
+  return 0;
+}

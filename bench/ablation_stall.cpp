@@ -1,0 +1,55 @@
+// Ablation: stall-over-steer in the occupancy-aware baseline ([15], [24]).
+// The OP policy stalls the front-end when the operand cluster's queue is
+// full unless another cluster is below the occupancy threshold. Sweeping
+// the threshold moves OP between "always stall" (threshold -> 0, never
+// divert) and "always steer" (threshold -> 1, divert whenever anything is
+// free) and reproduces the papers' observation that some stalling beats
+// blind steering.
+//
+// Usage: ablation_stall [--quick]
+#include <cstring>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcsteer;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  stats::Table table(
+      "OP stall-over-steer threshold sweep (2 clusters): avg IPC and stalls");
+  table.set_columns({"threshold", "avg IPC", "policy stalls/kuop",
+                     "alloc stalls/kuop", "copies/kuop"});
+
+  for (const double threshold : {0.05, 0.25, 0.50, 0.75, 1.00}) {
+    MachineConfig machine = MachineConfig::two_cluster();
+    machine.op_occupancy_threshold = threshold;
+    double ipc = 0, policy_stalls = 0, alloc = 0, copies = 0;
+    std::size_t t = 0;
+    for (const auto& profile : workload::smoke_profiles()) {
+      harness::TraceExperiment experiment(profile, machine, budget);
+      const harness::RunResult r = experiment.run({steer::Scheme::kOp, 0});
+      ipc += r.ipc;
+      policy_stalls += r.policy_stalls_per_kuop;
+      alloc += r.alloc_stalls_per_kuop;
+      copies += r.copies_per_kuop;
+      ++t;
+    }
+    const auto n = static_cast<double>(t);
+    table.row()
+        .add(threshold, 2)
+        .add(ipc / n, 3)
+        .add(policy_stalls / n, 1)
+        .add(alloc / n, 1)
+        .add(copies / n, 1);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: number of virtual clusters (paper §5.1 and §5.4).
+//
+// The paper sets #VCs = 2 on the 2-cluster machine because more VCs do not
+// help ("such configuration achieves almost the same performance as the
+// configurations with the increased number of virtual clusters"), and shows
+// on 4 clusters that VC(2->4) clearly beats VC(4->4) because fine VC
+// partitions spread critical dependent pairs over independently-mapped VCs.
+// This bench sweeps the VC count on both machines over a workload subset.
+//
+// Usage: ablation_vc_count [--quick]
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcsteer;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  for (const std::uint32_t clusters : {2u, 4u}) {
+    MachineConfig machine = MachineConfig::two_cluster();
+    machine.num_clusters = clusters;
+
+    stats::Table table("VC-count sweep on the " + std::to_string(clusters) +
+                       "-cluster machine (slowdown vs OP %, copies/kuop)");
+    table.set_columns({"trace", "VC(1)", "VC(2)", "VC(3)", "VC(4)", "VC(6)",
+                       "cp(1)", "cp(2)", "cp(3)", "cp(4)", "cp(6)"});
+    const std::uint32_t vc_counts[5] = {1, 2, 3, 4, 6};
+
+    for (const auto& profile : workload::smoke_profiles()) {
+      harness::TraceExperiment experiment(profile, machine, budget);
+      const harness::RunResult base =
+          experiment.run({steer::Scheme::kOp, 0});
+      double slow[5], copies[5];
+      for (int k = 0; k < 5; ++k) {
+        const harness::RunResult r =
+            experiment.run({steer::Scheme::kVc, vc_counts[k]});
+        slow[k] = stats::slowdown_pct(base.ipc, r.ipc);
+        copies[k] = r.copies_per_kuop;
+      }
+      table.row().add(profile.name);
+      for (int k = 0; k < 5; ++k) table.add(slow[k], 2);
+      for (int k = 0; k < 5; ++k) table.add(copies[k], 0);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 5 reproduction: per-trace slowdown (%) of one-cluster, OB, RHOP and
+// VC relative to the hardware-only occupancy-aware baseline (OP) on the
+// 2-cluster machine, plus the Figure 5(c) INT/FP/CPU2000 averages.
+//
+// Paper reference averages (Fig. 5c): one-cluster 12.19, OB 6.50, RHOP 5.40,
+// VC 2.62 (% slowdown vs OP). We reproduce the *shape*: the ordering and
+// rough magnitudes, not the absolute SPEC numbers (see EXPERIMENTS.md).
+//
+// Usage: fig5_twocluster [--quick] [--csv]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace vcsteer;
+
+struct Row {
+  std::string trace;
+  bool is_fp;
+  double slow[4];  // one-cluster, OB, RHOP, VC
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  const std::vector<harness::SchemeSpec> specs = {
+      {steer::Scheme::kOp, 0},
+      {steer::Scheme::kOneCluster, 0},
+      {steer::Scheme::kOb, 0},
+      {steer::Scheme::kRhop, 0},
+      {steer::Scheme::kVc, 2},  // paper: 2 virtual clusters on 2 clusters
+  };
+
+  std::vector<Row> rows;
+  for (const auto& profile : workload::all_profiles()) {
+    harness::TraceExperiment experiment(profile, machine, budget);
+    const harness::RunResult base = experiment.run(specs[0]);
+    Row row;
+    row.trace = profile.name;
+    row.is_fp = profile.is_fp;
+    for (int s = 1; s <= 4; ++s) {
+      const harness::RunResult r = experiment.run(specs[s]);
+      row.slow[s - 1] = stats::slowdown_pct(base.ipc, r.ipc);
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  stats::Table int_table("Fig 5(a): SPECint 2000 slowdown vs OP, 2 clusters (%)");
+  stats::Table fp_table("Fig 5(b): SPECfp 2000 slowdown vs OP, 2 clusters (%)");
+  for (auto* t : {&int_table, &fp_table}) {
+    t->set_columns({"trace", "one-cluster", "OB", "RHOP", "VC"});
+  }
+  std::vector<double> int_avg[4], fp_avg[4], all_avg[4];
+  for (const Row& row : rows) {
+    stats::Table& t = row.is_fp ? fp_table : int_table;
+    t.row().add(row.trace);
+    for (int s = 0; s < 4; ++s) {
+      t.add(row.slow[s], 2);
+      (row.is_fp ? fp_avg : int_avg)[s].push_back(row.slow[s]);
+      all_avg[s].push_back(row.slow[s]);
+    }
+  }
+
+  stats::Table avg_table("Fig 5(c): average slowdown vs OP, 2 clusters (%)"
+                         "  [paper: one-cluster 12.19, OB 6.50, RHOP 5.40, VC 2.62]");
+  avg_table.set_columns({"config", "INT AVG", "FP AVG", "CPU2000 AVG"});
+  const char* names[4] = {"one-cluster", "OB", "RHOP", "VC"};
+  for (int s = 0; s < 4; ++s) {
+    avg_table.row()
+        .add(std::string(names[s]))
+        .add(stats::mean(int_avg[s]), 2)
+        .add(stats::mean(fp_avg[s]), 2)
+        .add(stats::mean(all_avg[s]), 2);
+  }
+
+  if (csv) {
+    std::cout << int_table.to_csv() << '\n'
+              << fp_table.to_csv() << '\n'
+              << avg_table.to_csv();
+  } else {
+    int_table.print(std::cout);
+    std::cout << '\n';
+    fp_table.print(std::cout);
+    std::cout << '\n';
+    avg_table.print(std::cout);
+  }
+  return 0;
+}

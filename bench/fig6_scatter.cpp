@@ -1,0 +1,108 @@
+// Figure 6 reproduction: per-trace scatter of speedup (x) against copy
+// reduction (a-series) and workload-balance improvement (b-series) for
+// VC vs OB (a.1/b.1), VC vs RHOP (a.2/b.2) and VC vs OP (a.3/b.3) on the
+// 2-cluster machine.
+//
+// Definitions follow §5.3 of the paper:
+//   speedup(%)               = IPC_VC / IPC_other - 1
+//   copy reduction(%)        = 1 - copies_VC / copies_other
+//   balance improvement(%)   = 1 - alloc_stalls_VC / alloc_stalls_other
+// (workload balance improvement "is computed as the total reduction of the
+// allocation stalls in the issue queues").
+//
+// Expected shapes (see EXPERIMENTS.md): VC improves balance vs OB for most
+// traces; VC beats RHOP mainly via fewer/cheaper cut dependences while RHOP
+// balances better; VC generates *more* copies than OP but balances better.
+//
+// Usage: fig6_scatter [--quick] [--csv]
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace vcsteer;
+
+double reduction_pct(double vc, double other) {
+  if (other <= 0.0) return 0.0;
+  return (1.0 - vc / other) * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  struct Comparison {
+    const char* name;
+    harness::SchemeSpec spec;
+    stats::Table table;
+    int copy_better = 0, balance_better = 0, rows = 0;
+  };
+  std::vector<Comparison> comparisons;
+  comparisons.push_back({"OB", {steer::Scheme::kOb, 0},
+                         stats::Table("Fig 6(a.1,b.1): VC vs OB, per trace"),
+                         0, 0, 0});
+  comparisons.push_back({"RHOP", {steer::Scheme::kRhop, 0},
+                         stats::Table("Fig 6(a.2,b.2): VC vs RHOP, per trace"),
+                         0, 0, 0});
+  comparisons.push_back({"OP", {steer::Scheme::kOp, 0},
+                         stats::Table("Fig 6(a.3,b.3): VC vs OP, per trace"),
+                         0, 0, 0});
+  for (auto& c : comparisons) {
+    c.table.set_columns({"trace", "speedup (%)", "copy reduction (%)",
+                         "balance improvement (%)"});
+  }
+
+  for (const auto& profile : workload::all_profiles()) {
+    harness::TraceExperiment experiment(profile, machine, budget);
+    const harness::RunResult vc = experiment.run({steer::Scheme::kVc, 2});
+    for (auto& c : comparisons) {
+      const harness::RunResult other = experiment.run(c.spec);
+      const double speedup = stats::speedup_pct(vc.ipc, other.ipc);
+      const double copy_red =
+          reduction_pct(vc.copies_per_kuop, other.copies_per_kuop);
+      const double bal_imp = reduction_pct(vc.alloc_stalls_per_kuop,
+                                           other.alloc_stalls_per_kuop);
+      c.table.row()
+          .add(profile.name)
+          .add(speedup, 2)
+          .add(copy_red, 2)
+          .add(bal_imp, 2);
+      c.copy_better += copy_red > 0;
+      c.balance_better += bal_imp > 0;
+      ++c.rows;
+    }
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  stats::Table summary("Fig 6 summary: fraction of traces where VC wins");
+  summary.set_columns(
+      {"comparison", "copy reduction > 0", "balance improvement > 0"});
+  for (auto& c : comparisons) {
+    summary.row()
+        .add(std::string("VC vs ") + c.name)
+        .add(std::to_string(c.copy_better) + "/" + std::to_string(c.rows))
+        .add(std::to_string(c.balance_better) + "/" + std::to_string(c.rows));
+  }
+
+  for (auto& c : comparisons) {
+    std::cout << (csv ? c.table.to_csv() : c.table.to_text()) << '\n';
+  }
+  std::cout << (csv ? summary.to_csv() : summary.to_text());
+  return 0;
+}

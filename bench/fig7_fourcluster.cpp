@@ -1,0 +1,126 @@
+// Figure 7 reproduction: per-trace slowdown (%) of OB, RHOP, VC(4->4) and
+// VC(2->4) relative to the hardware-only baseline (OP) on the 4-cluster
+// machine, plus the Figure 7(c) averages and the §5.4 copy comparison
+// between the two VC configurations.
+//
+// Paper reference averages (Fig. 7c): OB 12.45, RHOP 12.69, VC(4->4) 12.96,
+// VC(2->4) 3.64 (% slowdown vs OP). §5.4: VC(4->4) generates ~28% more
+// copies than VC(2->4) because pairs of critical dependent instructions get
+// spread across virtual clusters that the hardware may map apart.
+//
+// Usage: fig7_fourcluster [--quick] [--csv]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace vcsteer;
+
+struct Row {
+  std::string trace;
+  bool is_fp;
+  double slow[4];    // OB, RHOP, VC(4->4), VC(2->4)
+  double copies[2];  // VC(4->4), VC(2->4), per kuop
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  const MachineConfig machine = MachineConfig::four_cluster();
+  const harness::SimBudget budget =
+      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+
+  const std::vector<harness::SchemeSpec> specs = {
+      {steer::Scheme::kOp, 0},   {steer::Scheme::kOb, 0},
+      {steer::Scheme::kRhop, 0}, {steer::Scheme::kVc, 4},
+      {steer::Scheme::kVc, 2},
+  };
+
+  std::vector<Row> rows;
+  for (const auto& profile : workload::all_profiles()) {
+    harness::TraceExperiment experiment(profile, machine, budget);
+    const harness::RunResult base = experiment.run(specs[0]);
+    Row row;
+    row.trace = profile.name;
+    row.is_fp = profile.is_fp;
+    for (int s = 1; s <= 4; ++s) {
+      const harness::RunResult r = experiment.run(specs[s]);
+      row.slow[s - 1] = stats::slowdown_pct(base.ipc, r.ipc);
+      if (s == 3) row.copies[0] = r.copies_per_kuop;
+      if (s == 4) row.copies[1] = r.copies_per_kuop;
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  stats::Table int_table("Fig 7(a): SPECint 2000 slowdown vs OP, 4 clusters (%)");
+  stats::Table fp_table("Fig 7(b): SPECfp 2000 slowdown vs OP, 4 clusters (%)");
+  for (auto* t : {&int_table, &fp_table}) {
+    t->set_columns({"trace", "OB", "RHOP", "VC(4->4)", "VC(2->4)"});
+  }
+  std::vector<double> int_avg[4], fp_avg[4], all_avg[4];
+  double copies44 = 0.0, copies24 = 0.0;
+  for (const Row& row : rows) {
+    stats::Table& t = row.is_fp ? fp_table : int_table;
+    t.row().add(row.trace);
+    for (int s = 0; s < 4; ++s) {
+      t.add(row.slow[s], 2);
+      (row.is_fp ? fp_avg : int_avg)[s].push_back(row.slow[s]);
+      all_avg[s].push_back(row.slow[s]);
+    }
+    copies44 += row.copies[0];
+    copies24 += row.copies[1];
+  }
+
+  stats::Table avg_table(
+      "Fig 7(c): average slowdown vs OP, 4 clusters (%)"
+      "  [paper: OB 12.45, RHOP 12.69, VC(4->4) 12.96, VC(2->4) 3.64]");
+  avg_table.set_columns({"config", "INT AVG", "FP AVG", "CPU2000 AVG"});
+  const char* names[4] = {"OB", "RHOP", "VC(4->4)", "VC(2->4)"};
+  for (int s = 0; s < 4; ++s) {
+    avg_table.row()
+        .add(std::string(names[s]))
+        .add(stats::mean(int_avg[s]), 2)
+        .add(stats::mean(fp_avg[s]), 2)
+        .add(stats::mean(all_avg[s]), 2);
+  }
+
+  stats::Table copy_table(
+      "Sec 5.4: copy micro-ops, VC(4->4) vs VC(2->4)  [paper: +28% on average]");
+  copy_table.set_columns(
+      {"VC(4->4) copies/kuop", "VC(2->4) copies/kuop", "excess (%)"});
+  copy_table.row()
+      .add(copies44 / rows.size(), 1)
+      .add(copies24 / rows.size(), 1)
+      .add(copies24 > 0 ? (copies44 / copies24 - 1.0) * 100.0 : 0.0, 1);
+
+  if (csv) {
+    std::cout << int_table.to_csv() << '\n'
+              << fp_table.to_csv() << '\n'
+              << avg_table.to_csv() << '\n'
+              << copy_table.to_csv();
+  } else {
+    int_table.print(std::cout);
+    std::cout << '\n';
+    fp_table.print(std::cout);
+    std::cout << '\n';
+    avg_table.print(std::cout);
+    std::cout << '\n';
+    copy_table.print(std::cout);
+  }
+  return 0;
+}

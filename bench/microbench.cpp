@@ -1,0 +1,128 @@
+// Microbenchmarks of the infrastructure itself (google-benchmark):
+// simulator throughput (simulated micro-ops per second), trace generation,
+// PinPoints analysis, the multilevel partitioner, and the software passes.
+// These guard against performance regressions that would make the figure
+// sweeps impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "compiler/ob_pass.hpp"
+#include "compiler/rhop_pass.hpp"
+#include "compiler/vc_pass.hpp"
+#include "graph/partition.hpp"
+#include "harness/experiment.hpp"
+#include "sim/core.hpp"
+#include "workload/pinpoints.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace vcsteer;
+
+const workload::WorkloadProfile& bench_profile() {
+  return *workload::find_profile("186.crafty");
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(50'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  sim::ClusteredCore core(cfg, wl.program);
+  const auto policy = steer::make_policy(steer::Scheme::kOp, cfg);
+  for (auto _ : state) {
+    const sim::SimStats stats = core.run(entries, *policy);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);  // uops simulated
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_PinPointsSelection(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  workload::PinPointsOptions opt;
+  opt.total_uops = 200'000;
+  opt.interval_uops = 20'000;
+  opt.max_phases = 6;
+  for (auto _ : state) {
+    const auto points = workload::select_pinpoints(
+        trace, wl.program.num_blocks(), opt, 42);
+    benchmark::DoNotOptimize(points.size());
+  }
+  state.SetItemsProcessed(state.iterations() * opt.total_uops);
+}
+BENCHMARK(BM_PinPointsSelection)->Unit(benchmark::kMillisecond);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng build(42);
+  graph::Digraph g(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (int k = 0; k < 3; ++k) {
+      const graph::NodeId v = static_cast<graph::NodeId>(build.below(n));
+      if (v != u) g.add_edge(std::min(u, v), std::max(u, v), 1.0);
+    }
+  }
+  const std::vector<double> w(n, 1.0);
+  for (auto _ : state) {
+    Rng rng(7);
+    const auto result =
+        graph::multilevel_partition(g, w, {.num_parts = 4}, rng);
+    benchmark::DoNotOptimize(result.cut_weight);
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VcPass(benchmark::State& state) {
+  workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  compiler::VcOptions opt;
+  opt.num_vcs = 2;
+  for (auto _ : state) {
+    wl.program.clear_hints();
+    const auto stats = compiler::assign_virtual_clusters(wl.program, opt);
+    benchmark::DoNotOptimize(stats.leaders);
+  }
+  state.SetItemsProcessed(state.iterations() * wl.program.num_uops());
+}
+BENCHMARK(BM_VcPass);
+
+void BM_RhopPass(benchmark::State& state) {
+  workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  compiler::RhopOptions opt;
+  opt.num_clusters = 2;
+  for (auto _ : state) {
+    wl.program.clear_hints();
+    const auto stats = compiler::assign_rhop(wl.program, opt);
+    benchmark::DoNotOptimize(stats.total_cut_weight);
+  }
+  state.SetItemsProcessed(state.iterations() * wl.program.num_uops());
+}
+BENCHMARK(BM_RhopPass);
+
+void BM_ObPass(benchmark::State& state) {
+  workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  compiler::ObOptions opt;
+  opt.num_clusters = 2;
+  for (auto _ : state) {
+    wl.program.clear_hints();
+    const auto stats = compiler::assign_ob(wl.program, opt);
+    benchmark::DoNotOptimize(stats.instructions);
+  }
+  state.SetItemsProcessed(state.iterations() * wl.program.num_uops());
+}
+BENCHMARK(BM_ObPass);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Quickstart: evaluate the five steering configurations of the paper's
+// Table 3 on one workload and print the comparison.
+//
+//   $ ./examples/quickstart [trace-name]
+//
+// Walks the whole public API: pick a workload profile, build the experiment
+// (program generation + PinPoints), run each steering scheme, and derive
+// slowdowns versus the hardware-only OP baseline.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcsteer;
+
+  const char* trace_name = argc > 1 ? argv[1] : "186.crafty";
+  const workload::WorkloadProfile* profile =
+      workload::find_profile(trace_name);
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown trace '%s'; available traces:\n", trace_name);
+    for (const auto& p : workload::all_profiles()) {
+      std::fprintf(stderr, "  %s\n", p.name.c_str());
+    }
+    return 1;
+  }
+
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SimBudget budget;  // default figure-sweep sizing
+  std::printf("machine: %s\n", machine.summary().c_str());
+  std::printf("trace:   %s (%s)\n\n", profile->name.c_str(),
+              profile->is_fp ? "SPECfp" : "SPECint");
+
+  harness::TraceExperiment experiment(*profile, machine, budget);
+  std::printf("PinPoints: %zu simulation points over %llu micro-ops\n\n",
+              experiment.simpoints().size(),
+              static_cast<unsigned long long>(budget.total_uops));
+
+  const std::vector<harness::SchemeSpec> specs = {
+      {steer::Scheme::kOp, 0},         {steer::Scheme::kOneCluster, 0},
+      {steer::Scheme::kOb, 0},         {steer::Scheme::kRhop, 0},
+      {steer::Scheme::kVc, 0},
+  };
+
+  std::vector<harness::RunResult> results;
+  for (const auto& spec : specs) results.push_back(experiment.run(spec));
+  const double base_ipc = results.front().ipc;
+
+  stats::Table table("steering schemes on " + profile->name + " (2 clusters)");
+  table.set_columns({"scheme", "IPC", "slowdown vs OP (%)", "copies/kuop",
+                     "alloc stalls/kuop", "policy stalls/kuop"});
+  for (const auto& r : results) {
+    table.row()
+        .add(r.scheme)
+        .add(r.ipc, 3)
+        .add(stats::slowdown_pct(base_ipc, r.ipc), 2)
+        .add(r.copies_per_kuop, 1)
+        .add(r.alloc_stalls_per_kuop, 1)
+        .add(r.policy_stalls_per_kuop, 1);
+  }
+  table.print(std::cout);
+  return 0;
+}

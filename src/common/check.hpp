@@ -1,0 +1,37 @@
+// Lightweight invariant checking for the vcsteer libraries.
+//
+// VCSTEER_CHECK is active in all build types: simulator state corruption must
+// never be silently carried forward, and the cost of the checks is negligible
+// relative to the per-cycle work. VCSTEER_DCHECK compiles away in release
+// builds and is reserved for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcsteer {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace vcsteer
+
+#define VCSTEER_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::vcsteer::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define VCSTEER_CHECK_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) ::vcsteer::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define VCSTEER_DCHECK(expr) ((void)0)
+#else
+#define VCSTEER_DCHECK(expr) VCSTEER_CHECK(expr)
+#endif

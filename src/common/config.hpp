@@ -1,0 +1,79 @@
+// Machine configuration — the architectural parameters of Table 2 of the
+// paper ("A Software-Hardware Hybrid Steering Mechanism for Clustered
+// Microarchitectures", IPDPS 2008). Every width, queue size and latency in
+// the simulator is read from this struct so that benches can sweep them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vcsteer {
+
+/// Cache geometry + timing for one level of the hierarchy.
+struct CacheConfig {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t associativity = 1;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t hit_latency = 1;
+
+  std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * associativity);
+  }
+};
+
+/// Full machine description. Defaults reproduce Table 2 with 2 clusters.
+struct MachineConfig {
+  // --- Front-end (monolithic) ---
+  std::uint32_t fetch_width = 6;           ///< micro-ops fetched per cycle.
+  std::uint32_t fetch_to_dispatch = 5;     ///< cycles from fetch to dispatch.
+  std::uint32_t decode_width_int = 3;      ///< INT micro-ops renamed+steered/cycle.
+  std::uint32_t decode_width_fp = 3;       ///< FP micro-ops renamed+steered/cycle.
+  std::uint32_t rob_int_entries = 256;
+  std::uint32_t rob_fp_entries = 256;
+  std::uint32_t commit_width_int = 3;
+  std::uint32_t commit_width_fp = 3;
+
+  // --- Back-end (per cluster) ---
+  std::uint32_t num_clusters = 2;
+  std::uint32_t iq_int_entries = 48;
+  std::uint32_t iq_fp_entries = 48;
+  std::uint32_t iq_copy_entries = 24;
+  std::uint32_t issue_width_int = 2;       ///< INT micro-ops issued/cycle/cluster.
+  std::uint32_t issue_width_fp = 2;        ///< FP micro-ops issued/cycle/cluster.
+  std::uint32_t issue_width_copy = 1;      ///< copies issued/cycle/cluster.
+  std::uint32_t regfile_int = 256;
+  std::uint32_t regfile_fp = 256;
+
+  // --- Inter-cluster communication ---
+  std::uint32_t link_latency = 1;          ///< point-to-point link, cycles.
+  std::uint32_t copies_per_link_cycle = 1; ///< bandwidth of each link.
+
+  // --- Memory system ---
+  CacheConfig l1d{/*size=*/32 * 1024, /*assoc=*/4, /*line=*/64, /*lat=*/3};
+  CacheConfig l2{/*size=*/2 * 1024 * 1024, /*assoc=*/16, /*line=*/64, /*lat=*/13};
+  std::uint32_t memory_latency = 500;      ///< ">= 500 cycle miss" in Table 2.
+  std::uint32_t lsq_entries = 256;
+  std::uint32_t l1_read_ports = 2;
+  std::uint32_t l1_write_ports = 1;
+
+  /// Occupancy threshold (fraction of IQ entries) above which the OP policy
+  /// prefers stalling over steering away from the operand cluster. Not in
+  /// Table 2 — it is the tunable of the occupancy-aware scheme [15].
+  double op_occupancy_threshold = 0.75;
+
+  /// Total rename/steer width per cycle.
+  std::uint32_t decode_width() const { return decode_width_int + decode_width_fp; }
+
+  /// Named presets used throughout benches and tests.
+  static MachineConfig two_cluster();
+  static MachineConfig four_cluster();
+
+  /// Human-readable one-line summary, e.g. "2-cluster, 48/48/24 IQ".
+  std::string summary() const;
+
+  /// Validate invariants (non-zero widths, power-of-two cache sets, ...).
+  /// Returns an empty string when valid, else a description of the problem.
+  std::string validate() const;
+};
+
+}  // namespace vcsteer

@@ -1,0 +1,82 @@
+// Fixed-capacity ring buffer used for every hardware queue in the simulator
+// (issue queues, ROB, LSQ, copy queues, front-end pipe). Capacity is a
+// runtime value fixed at construction — the paper's Table 2 sets the sizes —
+// and the structure never allocates after construction, keeping the
+// per-cycle simulator loop allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace vcsteer {
+
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    VCSTEER_CHECK(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+  std::size_t free_slots() const { return capacity_ - size_; }
+
+  /// Push to the back. Caller must ensure there is space.
+  void push(T value) {
+    VCSTEER_CHECK_MSG(!full(), "FixedQueue overflow");
+    slots_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+  }
+
+  bool try_push(T value) {
+    if (full()) return false;
+    push(std::move(value));
+    return true;
+  }
+
+  T& front() {
+    VCSTEER_CHECK(!empty());
+    return slots_[head_];
+  }
+  const T& front() const {
+    VCSTEER_CHECK(!empty());
+    return slots_[head_];
+  }
+
+  /// Random access from the front: at(0) == front().
+  T& at(std::size_t i) {
+    VCSTEER_CHECK(i < size_);
+    return slots_[(head_ + i) % capacity_];
+  }
+  const T& at(std::size_t i) const {
+    VCSTEER_CHECK(i < size_);
+    return slots_[(head_ + i) % capacity_];
+  }
+
+  T pop() {
+    VCSTEER_CHECK(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vcsteer

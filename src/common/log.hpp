@@ -1,0 +1,23 @@
+// Minimal leveled logging. The simulator is silent by default; tests and
+// examples can raise the level to trace steering decisions.
+#pragma once
+
+#include <cstdarg>
+
+namespace vcsteer {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace vcsteer
+
+#define VCSTEER_LOG_INFO(...) ::vcsteer::logf(::vcsteer::LogLevel::kInfo, __VA_ARGS__)
+#define VCSTEER_LOG_WARN(...) ::vcsteer::logf(::vcsteer::LogLevel::kWarn, __VA_ARGS__)
+#define VCSTEER_LOG_DEBUG(...) ::vcsteer::logf(::vcsteer::LogLevel::kDebug, __VA_ARGS__)

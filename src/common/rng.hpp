@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository (program generator, address
+// streams, k-means initialisation) draws from an Rng seeded from a stable
+// string (the trace name) so that benches and tests are bit-reproducible
+// across runs and platforms. We use splitmix64 for seeding and xoshiro256**
+// for the stream; both are tiny, fast and have well-understood statistical
+// quality, which matters because the workload generator draws hundreds of
+// millions of variates in a full figure sweep.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace vcsteer {
+
+/// splitmix64 step; used to expand a 64-bit seed into xoshiro state and to
+/// hash strings into seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over a string, folded through splitmix64 so short names still
+/// produce well-mixed seeds.
+inline std::uint64_t hash_seed(std::string_view name, std::uint64_t salt = 0) {
+  std::uint64_t h = 1469598103934665603ULL ^ salt;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return splitmix64(h);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+  Rng(std::string_view name, std::uint64_t salt) { reseed(hash_seed(name, salt)); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) {
+    VCSTEER_DCHECK(bound > 0);
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    VCSTEER_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric-ish positive integer with mean approximately `mean` (>= 1).
+  std::uint64_t geometric(double mean) {
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    std::uint64_t n = 1;
+    // Cap the tail so a pathological draw can't stall the generator.
+    while (n < 64 * static_cast<std::uint64_t>(mean) + 64 && !chance(p)) ++n;
+    return n;
+  }
+
+  /// Zipf-like choice over [0, n): rank r drawn with weight 1/(r+1)^s.
+  /// Used for register and basic-block popularity distributions.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+inline std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  VCSTEER_DCHECK(n > 0);
+  // Inverse-CDF by linear scan is fine: n is small (tens) at every call site.
+  auto weight = [s](std::uint64_t rank) {
+    return 1.0 / std::pow(static_cast<double>(rank), s);
+  };
+  double total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += weight(i + 1);
+  double target = uniform() * total;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    target -= weight(i + 1);
+    if (target <= 0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace vcsteer

@@ -1,0 +1,40 @@
+#include "compiler/ddg.hpp"
+
+#include <array>
+
+#include "isa/uop.hpp"
+
+namespace vcsteer::compiler {
+
+double static_latency(const isa::MicroOp& uop) {
+  double lat = isa::latency(uop.op);
+  if (uop.is_load()) lat += 3.0;  // assume L1 hit at compile time
+  return lat;
+}
+
+BlockDdg build_ddg(const prog::Program& program,
+                   const prog::BasicBlock& block) {
+  BlockDdg ddg;
+  ddg.graph = graph::Digraph(block.num_uops);
+  ddg.latency.reserve(block.num_uops);
+
+  // last_def[r]: local node index of the newest in-block writer of r.
+  std::array<graph::NodeId, isa::kNumFlatRegs> last_def;
+  last_def.fill(graph::kInvalidNode);
+
+  for (std::uint32_t i = 0; i < block.num_uops; ++i) {
+    const isa::MicroOp& uop = program.uop(block.uop_at(i));
+    ddg.latency.push_back(static_latency(uop));
+    for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
+      const graph::NodeId def = last_def[isa::flat_reg(uop.srcs[s])];
+      if (def != graph::kInvalidNode && def != i) {
+        ddg.graph.add_edge(def, i, ddg.latency[def]);
+      }
+    }
+    if (uop.has_dst) last_def[isa::flat_reg(uop.dst)] = i;
+  }
+  ddg.crit = graph::critical_paths(ddg.graph, ddg.latency);
+  return ddg;
+}
+
+}  // namespace vcsteer::compiler

@@ -1,0 +1,29 @@
+// Data-dependence graph construction for one scheduling region (basic
+// block). Nodes are the block's micro-ops in program order; an edge u -> v
+// with weight latency(u) exists when v reads a register last defined by u
+// inside the block. Values entering the block (defined upstream or in other
+// blocks) have no producer node — exactly the limited compiler visibility
+// the paper contrasts with hardware steering.
+#pragma once
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "program/program.hpp"
+
+namespace vcsteer::compiler {
+
+struct BlockDdg {
+  graph::Digraph graph;          ///< node i == block.first_uop + i.
+  std::vector<double> latency;   ///< static latency estimate per node.
+  graph::CriticalPathInfo crit;  ///< depth/height/criticality (paper §4.2).
+};
+
+/// Static latency estimate used by all software passes (loads assume an L1
+/// hit: address generation + 3-cycle cache).
+double static_latency(const isa::MicroOp& uop);
+
+BlockDdg build_ddg(const prog::Program& program, const prog::BasicBlock& block);
+
+}  // namespace vcsteer::compiler

@@ -1,0 +1,50 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace vcsteer::graph {
+
+HalfEdge* Digraph::find_succ(NodeId u, NodeId v) {
+  for (HalfEdge& e : succs_[u]) {
+    if (e.to == v) return &e;
+  }
+  return nullptr;
+}
+
+void Digraph::add_edge(NodeId u, NodeId v, double weight) {
+  VCSTEER_CHECK(u < succs_.size() && v < succs_.size());
+  if (HalfEdge* existing = find_succ(u, v)) {
+    if (weight > existing->weight) {
+      existing->weight = weight;
+      for (HalfEdge& p : preds_[v]) {
+        if (p.to == u) p.weight = weight;
+      }
+    }
+    return;
+  }
+  succs_[u].push_back({v, weight});
+  preds_[v].push_back({u, weight});
+  ++num_edges_;
+}
+
+void Digraph::add_or_accumulate_edge(NodeId u, NodeId v, double weight) {
+  VCSTEER_CHECK(u < succs_.size() && v < succs_.size());
+  if (HalfEdge* existing = find_succ(u, v)) {
+    existing->weight += weight;
+    for (HalfEdge& p : preds_[v]) {
+      if (p.to == u) p.weight += weight;
+    }
+    return;
+  }
+  succs_[u].push_back({v, weight});
+  preds_[v].push_back({u, weight});
+  ++num_edges_;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  VCSTEER_CHECK(u < succs_.size() && v < succs_.size());
+  return std::any_of(succs_[u].begin(), succs_[u].end(),
+                     [v](const HalfEdge& e) { return e.to == v; });
+}
+
+}  // namespace vcsteer::graph

@@ -1,0 +1,71 @@
+// Directed graph with weighted edges.
+//
+// Used for data-dependence graphs (nodes = micro-ops of a region, edge u->v
+// with latency weight when v consumes u's result) and for the coarsened
+// graphs of the multilevel partitioner. Nodes are dense indices so all
+// algorithms run over flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace vcsteer::graph {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~0u;
+
+struct HalfEdge {
+  NodeId to = kInvalidNode;
+  double weight = 0.0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes)
+      : succs_(num_nodes), preds_(num_nodes) {}
+
+  std::size_t num_nodes() const { return succs_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  NodeId add_node() {
+    succs_.emplace_back();
+    preds_.emplace_back();
+    return static_cast<NodeId>(succs_.size() - 1);
+  }
+
+  /// Adds edge u->v. Parallel edges are collapsed: if u->v exists, the
+  /// maximum latency-style weight wins (a consumer waits for the slowest
+  /// dependence) — callers that want additive semantics use add_or_accumulate.
+  void add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Adds edge u->v, summing weights of parallel edges (communication-volume
+  /// semantics used by the partitioner).
+  void add_or_accumulate_edge(NodeId u, NodeId v, double weight);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::span<const HalfEdge> succs(NodeId u) const {
+    VCSTEER_DCHECK(u < succs_.size());
+    return succs_[u];
+  }
+  std::span<const HalfEdge> preds(NodeId u) const {
+    VCSTEER_DCHECK(u < preds_.size());
+    return preds_[u];
+  }
+
+  std::size_t out_degree(NodeId u) const { return succs_[u].size(); }
+  std::size_t in_degree(NodeId u) const { return preds_[u].size(); }
+
+ private:
+  HalfEdge* find_succ(NodeId u, NodeId v);
+
+  std::vector<std::vector<HalfEdge>> succs_;
+  std::vector<std::vector<HalfEdge>> preds_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace vcsteer::graph

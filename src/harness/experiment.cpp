@@ -1,0 +1,129 @@
+#include "harness/experiment.hpp"
+
+#include "common/check.hpp"
+#include "compiler/ob_pass.hpp"
+#include "compiler/rhop_pass.hpp"
+#include "compiler/vc_pass.hpp"
+#include "sim/core.hpp"
+#include "steer/vc_policy.hpp"
+#include "workload/trace.hpp"
+
+namespace vcsteer::harness {
+
+std::string SchemeSpec::label(const MachineConfig& machine) const {
+  if (scheme != steer::Scheme::kVc) return steer::scheme_name(scheme);
+  const std::uint32_t vcs = num_vcs == 0 ? machine.num_clusters : num_vcs;
+  return "VC(" + std::to_string(vcs) + "->" +
+         std::to_string(machine.num_clusters) + ")";
+}
+
+void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
+                         const MachineConfig& machine) {
+  program.clear_hints();
+  switch (spec.scheme) {
+    case steer::Scheme::kOb: {
+      compiler::ObOptions opt;
+      opt.num_clusters = machine.num_clusters;
+      // SPDI models a cheap operand network (EDGE grids), so it
+      // underestimates the copy cost of a clustered machine and splits
+      // chains more freely than VC does — the copy excess of Fig. 6(a.1).
+      opt.comm_cost = 0.5;
+      opt.issue_width = machine.issue_width_int;
+      compiler::assign_ob(program, opt);
+      break;
+    }
+    case steer::Scheme::kRhop: {
+      compiler::RhopOptions opt;
+      opt.num_clusters = machine.num_clusters;
+      // RHOP refines aggressively towards balanced estimated workload
+      // (its balance is better than VC's in Fig. 6(b.2)).
+      opt.imbalance_tolerance = 0.05;
+      opt.critical_edge_bonus = 4.0;
+      compiler::assign_rhop(program, opt);
+      break;
+    }
+    case steer::Scheme::kVc: {
+      compiler::VcOptions opt;
+      opt.num_vcs = spec.num_vcs == 0 ? machine.num_clusters : spec.num_vcs;
+      opt.comm_cost = machine.link_latency + 1.0;
+      opt.issue_width = machine.issue_width_int;
+      if (spec.vc_min_leader_chain != 0) {
+        opt.min_leader_chain = spec.vc_min_leader_chain;
+      }
+      compiler::assign_virtual_clusters(program, opt);
+      break;
+    }
+    default:
+      break;  // hardware-only schemes need no annotations
+  }
+}
+
+std::unique_ptr<steer::SteeringPolicy> policy_for_scheme(
+    const SchemeSpec& spec, const MachineConfig& machine) {
+  if (spec.scheme == steer::Scheme::kVc) {
+    const std::uint32_t vcs =
+        spec.num_vcs == 0 ? machine.num_clusters : spec.num_vcs;
+    return std::make_unique<steer::VcPolicy>(machine, vcs);
+  }
+  return steer::make_policy(spec.scheme, machine);
+}
+
+TraceExperiment::TraceExperiment(const workload::WorkloadProfile& profile,
+                                 const MachineConfig& machine,
+                                 const SimBudget& budget)
+    : machine_(machine), budget_(budget), wl_(workload::generate(profile)) {
+  workload::TraceSource trace(wl_);
+  workload::PinPointsOptions popt;
+  popt.total_uops = budget.total_uops;
+  popt.interval_uops = budget.interval_uops;
+  popt.max_phases = budget.max_phases;
+  points_ = workload::select_pinpoints(trace, wl_.program.num_blocks(), popt,
+                                       profile.seed(/*stream=*/3));
+  VCSTEER_CHECK(!points_.empty());
+  intervals_.reserve(points_.size());
+  warm_addrs_.reserve(points_.size());
+  for (const workload::SimPoint& p : points_) {
+    // Replay the prefix for functional cache warming, then the interval.
+    trace.reset();
+    std::vector<std::uint64_t> warm;
+    for (std::uint64_t u = 0; u < p.start_uop; ++u) {
+      const workload::TraceEntry e = trace.next();
+      if (wl_.program.uop(e.uop).is_mem()) warm.push_back(e.addr);
+    }
+    warm_addrs_.push_back(std::move(warm));
+    intervals_.push_back(trace.take(p.length));
+  }
+}
+
+RunResult TraceExperiment::run(const SchemeSpec& spec) {
+  annotate_for_scheme(wl_.program, spec, machine_);
+  const auto policy = policy_for_scheme(spec, machine_);
+
+  RunResult result;
+  result.trace = wl_.profile.name;
+  result.scheme = spec.label(machine_);
+
+  sim::ClusteredCore core(machine_, wl_.program);
+  double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
+         w_policy = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double w = points_[i].weight;
+    const sim::SimStats stats = core.run(intervals_[i], *policy, warm_addrs_[i]);
+    w_cycles += w * static_cast<double>(stats.cycles);
+    w_uops += w * static_cast<double>(stats.committed_uops);
+    w_copies += w * static_cast<double>(stats.copies_generated);
+    w_alloc += w * static_cast<double>(stats.alloc_stalls);
+    w_policy += w * static_cast<double>(stats.policy_stalls);
+    result.committed_uops += stats.committed_uops;
+    result.cycles += stats.cycles;
+    result.last_interval = stats;
+  }
+  VCSTEER_CHECK(w_cycles > 0.0 && w_uops > 0.0);
+  result.ipc = w_uops / w_cycles;
+  result.copies_per_kuop = 1000.0 * w_copies / w_uops;
+  result.alloc_stalls_per_kuop = 1000.0 * w_alloc / w_uops;
+  result.policy_stalls_per_kuop = 1000.0 * w_policy / w_uops;
+  return result;
+}
+
+}  // namespace vcsteer::harness

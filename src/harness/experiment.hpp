@@ -1,0 +1,96 @@
+// Experiment driver: the paper's methodology end to end.
+//
+// For one workload profile:
+//   1. generate the synthetic program + memory streams (the "SPEC binary"),
+//   2. select PinPoints simulation points with weights (paper §5.1),
+//   3. for each steering configuration: run the software pass it needs,
+//      instantiate its hardware policy, simulate every simulation point and
+//      aggregate the PinPoints-weighted metrics.
+// TraceExperiment caches the program and the materialised intervals so a
+// bench sweeping five schemes over forty traces only pays generation and
+// trace replay once per trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/stats.hpp"
+#include "steer/policy.hpp"
+#include "workload/generator.hpp"
+#include "workload/pinpoints.hpp"
+
+namespace vcsteer::harness {
+
+/// Simulation sizing. Defaults keep a full 40-trace x 5-scheme figure sweep
+/// in the tens of seconds; the methodology (intervals + k-means + weights)
+/// is identical to the paper's 10M-uop PinPoints at larger sizes.
+struct SimBudget {
+  std::uint64_t total_uops = 600'000;    ///< trace prefix analysed by PinPoints.
+  std::uint64_t interval_uops = 30'000;  ///< simulation-point size.
+  std::uint32_t max_phases = 6;          ///< paper uses up to 10.
+
+  static SimBudget smoke() { return {120'000, 20'000, 3}; }
+};
+
+/// One steering configuration of the paper's Table 3 (plus VC(v->n) forms).
+struct SchemeSpec {
+  steer::Scheme scheme = steer::Scheme::kOp;
+  /// Virtual-cluster count for the VC scheme; 0 = same as cluster count.
+  /// E.g. {kVc, 2} on a 4-cluster machine is the paper's VC(2->4).
+  std::uint32_t num_vcs = 0;
+  /// Override for VcOptions::min_leader_chain (0 = library default); used
+  /// by the chain-granularity ablation.
+  std::uint32_t vc_min_leader_chain = 0;
+
+  std::string label(const MachineConfig& machine) const;
+};
+
+/// PinPoints-weighted result of one (trace, machine, scheme) evaluation.
+struct RunResult {
+  std::string trace;
+  std::string scheme;
+  double ipc = 0.0;
+  double copies_per_kuop = 0.0;
+  double alloc_stalls_per_kuop = 0.0;
+  double policy_stalls_per_kuop = 0.0;
+  std::uint64_t committed_uops = 0;  ///< total over simulated intervals.
+  std::uint64_t cycles = 0;          ///< total over simulated intervals.
+  sim::SimStats last_interval;       ///< stats of the final interval (diagnostics).
+};
+
+class TraceExperiment {
+ public:
+  TraceExperiment(const workload::WorkloadProfile& profile,
+                  const MachineConfig& machine, const SimBudget& budget);
+
+  /// Evaluate one steering configuration (runs its software pass, simulates
+  /// all simulation points, aggregates with PinPoints weights).
+  RunResult run(const SchemeSpec& spec);
+
+  const workload::GeneratedWorkload& workload() const { return wl_; }
+  const std::vector<workload::SimPoint>& simpoints() const { return points_; }
+  const MachineConfig& machine() const { return machine_; }
+
+ private:
+  MachineConfig machine_;
+  SimBudget budget_;
+  workload::GeneratedWorkload wl_;
+  std::vector<workload::SimPoint> points_;
+  std::vector<std::vector<workload::TraceEntry>> intervals_;
+  /// Per simulation point: addresses of all memory operations preceding it
+  /// in the trace, used to functionally warm the cache hierarchy.
+  std::vector<std::vector<std::uint64_t>> warm_addrs_;
+};
+
+/// Runs the software pass of `spec` over `program` (clearing previous
+/// hints). No-op for hardware-only schemes. Exposed for tests/examples.
+void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
+                         const MachineConfig& machine);
+
+/// Instantiates the hardware policy for `spec`.
+std::unique_ptr<steer::SteeringPolicy> policy_for_scheme(
+    const SchemeSpec& spec, const MachineConfig& machine);
+
+}  // namespace vcsteer::harness

@@ -1,0 +1,87 @@
+#include "isa/uop.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace vcsteer::isa {
+
+std::uint32_t latency(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu: return 1;
+    case OpClass::kIntMul: return 3;
+    case OpClass::kIntDiv: return 20;
+    case OpClass::kFpAdd: return 3;
+    case OpClass::kFpMul: return 5;
+    case OpClass::kFpDiv: return 20;
+    case OpClass::kLoad: return 1;    // address generation; cache adds the rest
+    case OpClass::kStore: return 1;
+    case OpClass::kBranch: return 1;
+    case OpClass::kCopy: return 1;
+    case OpClass::kNop: return 1;
+  }
+  VCSTEER_CHECK_MSG(false, "unknown op class");
+}
+
+bool uses_fp_queue(OpClass op) {
+  return op == OpClass::kFpAdd || op == OpClass::kFpMul ||
+         op == OpClass::kFpDiv;
+}
+
+const char* mnemonic(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu: return "iadd";
+    case OpClass::kIntMul: return "imul";
+    case OpClass::kIntDiv: return "idiv";
+    case OpClass::kFpAdd: return "fadd";
+    case OpClass::kFpMul: return "fmul";
+    case OpClass::kFpDiv: return "fdiv";
+    case OpClass::kLoad: return "ld";
+    case OpClass::kStore: return "st";
+    case OpClass::kBranch: return "br";
+    case OpClass::kCopy: return "cp";
+    case OpClass::kNop: return "nop";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_reg(std::string& out, ArchReg r) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%c%u", r.file == RegFile::kFp ? 'f' : 'r',
+                r.index);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_string(const MicroOp& uop) {
+  std::string out = mnemonic(uop.op);
+  if (uop.has_dst) {
+    out += ' ';
+    append_reg(out, uop.dst);
+    out += " <-";
+  }
+  for (std::uint8_t i = 0; i < uop.num_srcs; ++i) {
+    out += i == 0 ? " " : ", ";
+    append_reg(out, uop.srcs[i]);
+  }
+  if (uop.hint.has_vc() || uop.hint.has_static_cluster()) {
+    out += " [";
+    if (uop.hint.has_vc()) {
+      out += "vc=";
+      out += std::to_string(uop.hint.vc_id);
+      if (uop.hint.chain_leader) out += " L";
+    }
+    if (uop.hint.has_static_cluster()) {
+      if (uop.hint.has_vc()) out += ' ';
+      out += "pc=";
+      out += std::to_string(uop.hint.static_cluster);
+    }
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace vcsteer::isa

@@ -1,0 +1,55 @@
+#include "mem/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace vcsteer::mem {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), num_sets_(config.num_sets()) {
+  VCSTEER_CHECK_MSG(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0,
+                    "cache set count must be a power of two");
+  ways_.assign(num_sets_ * config_.associativity, Way{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * config_.associativity];
+  ++tick_;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer invalid ways
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* base = &ways_[set * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = hits_ = misses_ = 0;
+}
+
+}  // namespace vcsteer::mem

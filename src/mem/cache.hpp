@@ -1,0 +1,54 @@
+// Set-associative cache with true-LRU replacement.
+//
+// Latency-only model: an access returns hit/miss and fills on miss; the
+// hierarchy turns that into cycles. Geometry comes from CacheConfig
+// (Table 2: 32KB/4-way L1D, 2MB/16-way unified L2, 64B lines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace vcsteer::mem {
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up `addr`; on miss the line is filled (evicting LRU). Returns
+  /// true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Lookup without fill or LRU update (used by tests and warmup checks).
+  bool contains(std::uint64_t addr) const;
+
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t lru = 0;  ///< larger = more recently used.
+    bool valid = false;
+  };
+
+  std::uint64_t set_of(std::uint64_t addr) const {
+    return (addr / config_.line_bytes) & (num_sets_ - 1);
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr / config_.line_bytes / num_sets_;
+  }
+
+  CacheConfig config_;
+  std::uint64_t num_sets_;
+  std::vector<Way> ways_;  ///< num_sets * associativity, set-major.
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vcsteer::mem

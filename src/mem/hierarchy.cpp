@@ -1,0 +1,74 @@
+#include "mem/hierarchy.hpp"
+
+#include "common/check.hpp"
+
+namespace vcsteer::mem {
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig& config)
+    : config_(config), l1_(config.l1d), l2_(config.l2) {}
+
+void MemoryHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  stats_ = HierarchyStats{};
+  port_cycle_ = 0;
+  reads_used_ = 0;
+  write_port_cycle_ = 0;
+  writes_used_ = 0;
+}
+
+void MemoryHierarchy::warm(std::uint64_t addr) {
+  if (!l1_.access(addr)) l2_.access(addr);
+}
+
+std::uint32_t MemoryHierarchy::lookup_latency(std::uint64_t addr) {
+  if (l1_.access(addr)) {
+    ++stats_.l1_hits;
+    return config_.l1d.hit_latency;
+  }
+  ++stats_.l1_misses;
+  if (l2_.access(addr)) {
+    ++stats_.l2_hits;
+    return config_.l2.hit_latency;
+  }
+  ++stats_.l2_misses;
+  return config_.memory_latency;
+}
+
+std::uint32_t MemoryHierarchy::arbitrate(std::uint64_t cycle, bool write) {
+  // Requests are arbitrated in arrival order (the simulator issues in
+  // non-decreasing cycle order). (port_cycle_, used_) track the first cycle
+  // that still has a free port of each kind; a request that finds its cycle
+  // fully subscribed slips forward.
+  std::uint64_t* front = write ? &write_port_cycle_ : &port_cycle_;
+  std::uint32_t* used = write ? &writes_used_ : &reads_used_;
+  const std::uint32_t ports = write ? config_.l1_write_ports : config_.l1_read_ports;
+  if (cycle > *front) {
+    *front = cycle;
+    *used = 0;
+  }
+  while (*used >= ports) {
+    ++*front;
+    *used = 0;
+  }
+  ++*used;
+  const std::uint32_t wait = static_cast<std::uint32_t>(*front - cycle);
+  stats_.port_wait_cycles += wait;
+  return wait;
+}
+
+std::uint32_t MemoryHierarchy::load_latency(std::uint64_t addr,
+                                            std::uint64_t cycle) {
+  ++stats_.loads;
+  const std::uint32_t wait = arbitrate(cycle, /*write=*/false);
+  return wait + lookup_latency(addr);
+}
+
+std::uint32_t MemoryHierarchy::store_latency(std::uint64_t addr,
+                                             std::uint64_t cycle) {
+  ++stats_.stores;
+  const std::uint32_t wait = arbitrate(cycle, /*write=*/true);
+  return wait + lookup_latency(addr);
+}
+
+}  // namespace vcsteer::mem

@@ -1,0 +1,65 @@
+// Memory hierarchy: unified L1D + L2 + main memory with L1 port contention.
+//
+// Table 2 of the paper: the L1 data cache and the LSQ are *unified* across
+// clusters and reached over dedicated buses, 32KB 4-way 3-cycle L1D with 2
+// read + 1 write port, 2MB 16-way 13-cycle unified L2, and >= 500-cycle
+// memory. The hierarchy is queried at load/store issue time and returns the
+// total access latency, including any cycles spent waiting for a free L1
+// port (modelled per-cycle, FIFO among requesters).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "mem/cache.hpp"
+
+namespace vcsteer::mem {
+
+struct HierarchyStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t port_wait_cycles = 0;
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const MachineConfig& config);
+
+  /// Latency in cycles of a load whose address is available at `cycle`
+  /// (includes port arbitration, cache lookup and any miss penalty).
+  std::uint32_t load_latency(std::uint64_t addr, std::uint64_t cycle);
+
+  /// Same for a store. Stores consume the write port; their latency only
+  /// holds the LSQ slot (commit does not wait for it).
+  std::uint32_t store_latency(std::uint64_t addr, std::uint64_t cycle);
+
+  /// Functional warming: install the line for `addr` in L1/L2 without
+  /// touching ports or stats. Used to warm the hierarchy with the trace
+  /// prefix preceding a simulation point (standard SimPoint methodology —
+  /// cold-start misses would otherwise dominate short intervals).
+  void warm(std::uint64_t addr);
+
+  const HierarchyStats& stats() const { return stats_; }
+  void reset();
+
+ private:
+  std::uint32_t lookup_latency(std::uint64_t addr);
+  std::uint32_t arbitrate(std::uint64_t cycle, bool write);
+
+  MachineConfig config_;
+  Cache l1_;
+  Cache l2_;
+  HierarchyStats stats_;
+
+  // Port arbitration state: usage counts for the cycle in `port_cycle_`.
+  std::uint64_t port_cycle_ = 0;
+  std::uint32_t reads_used_ = 0;
+  std::uint64_t write_port_cycle_ = 0;
+  std::uint32_t writes_used_ = 0;
+};
+
+}  // namespace vcsteer::mem

@@ -1,0 +1,63 @@
+#include <utility>
+
+#include "program/program.hpp"
+
+namespace vcsteer::prog {
+
+BlockId ProgramBuilder::begin_block() {
+  VCSTEER_CHECK_MSG(!block_open_, "previous block not ended");
+  BasicBlock bb;
+  bb.id = static_cast<BlockId>(program_.blocks_.size());
+  bb.first_uop = static_cast<UopId>(program_.uops_.size());
+  program_.blocks_.push_back(bb);
+  block_open_ = true;
+  open_block_ = bb.id;
+  return bb.id;
+}
+
+UopId ProgramBuilder::add(const isa::MicroOp& uop) {
+  VCSTEER_CHECK_MSG(block_open_, "add() outside of a block");
+  const UopId id = static_cast<UopId>(program_.uops_.size());
+  program_.uops_.push_back(uop);
+  program_.block_of_uop_.push_back(open_block_);
+  ++program_.blocks_[open_block_].num_uops;
+  return id;
+}
+
+UopId ProgramBuilder::add(isa::OpClass op, isa::ArchReg dst,
+                          std::initializer_list<isa::ArchReg> srcs) {
+  isa::MicroOp u;
+  u.op = op;
+  u.has_dst = true;
+  u.dst = dst;
+  VCSTEER_CHECK(srcs.size() <= 2);
+  for (isa::ArchReg r : srcs) u.srcs[u.num_srcs++] = r;
+  return add(u);
+}
+
+UopId ProgramBuilder::add_void(isa::OpClass op,
+                               std::initializer_list<isa::ArchReg> srcs) {
+  isa::MicroOp u;
+  u.op = op;
+  u.has_dst = false;
+  VCSTEER_CHECK(srcs.size() <= 2);
+  for (isa::ArchReg r : srcs) u.srcs[u.num_srcs++] = r;
+  return add(u);
+}
+
+void ProgramBuilder::end_block(std::vector<CfgEdge> succs) {
+  VCSTEER_CHECK_MSG(block_open_, "end_block() without begin_block()");
+  VCSTEER_CHECK_MSG(program_.blocks_[open_block_].num_uops > 0,
+                    "basic blocks must be non-empty");
+  program_.blocks_[open_block_].succs = std::move(succs);
+  block_open_ = false;
+}
+
+Program ProgramBuilder::finish() && {
+  VCSTEER_CHECK_MSG(!block_open_, "finish() with an open block");
+  const std::string problem = program_.validate();
+  VCSTEER_CHECK_MSG(problem.empty(), problem.c_str());
+  return std::move(program_);
+}
+
+}  // namespace vcsteer::prog

@@ -1,0 +1,61 @@
+// Simulation statistics.
+//
+// Everything the paper's evaluation reads off a run: IPC (Figures 5/7 plot
+// slowdowns derived from it), the number of copy micro-ops generated
+// (Figure 6 a-series), and the issue-queue allocation stalls that define the
+// paper's workload-balance metric ("workload balance improvement is computed
+// as the total reduction of the allocation stalls in the issue queues",
+// §5.3), plus a full stall breakdown and per-cluster distribution for
+// diagnostics and ablations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mem/hierarchy.hpp"
+
+namespace vcsteer::sim {
+
+constexpr std::uint32_t kMaxClusters = 8;
+
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed_uops = 0;   ///< program micro-ops (copies excluded).
+  std::uint64_t dispatched_uops = 0;
+  std::uint64_t copies_generated = 0; ///< inter-cluster copy micro-ops.
+
+  // Dispatch stall breakdown, in *micro-op slots* lost at the steer stage.
+  std::uint64_t alloc_stalls = 0;     ///< target issue queue full (balance metric).
+  std::uint64_t policy_stalls = 0;    ///< policy chose to stall (OP stall-over-steer).
+  std::uint64_t rob_stalls = 0;
+  std::uint64_t lsq_stalls = 0;
+  std::uint64_t copyq_stalls = 0;     ///< copy queue in producer cluster full.
+  std::uint64_t copy_bandwidth_stalls = 0;  ///< no decode slot left for copies.
+  std::uint64_t regfile_stalls = 0;
+  std::uint64_t frontend_empty = 0;   ///< no micro-op ready to dispatch.
+
+  std::array<std::uint64_t, kMaxClusters> dispatched_to{};  ///< per cluster.
+  std::array<std::uint64_t, kMaxClusters> occupancy_sum{};  ///< IQ entries * cycles.
+
+  mem::HierarchyStats memory{};
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed_uops) /
+                             static_cast<double>(cycles);
+  }
+  /// Copies per 1000 committed micro-ops (machine-size independent measure).
+  double copies_per_kuop() const {
+    return committed_uops == 0 ? 0.0
+                               : 1000.0 * static_cast<double>(copies_generated) /
+                                     static_cast<double>(committed_uops);
+  }
+  /// Allocation stalls per 1000 committed micro-ops.
+  double alloc_stalls_per_kuop() const {
+    return committed_uops == 0 ? 0.0
+                               : 1000.0 * static_cast<double>(alloc_stalls) /
+                                     static_cast<double>(committed_uops);
+  }
+};
+
+}  // namespace vcsteer::sim

@@ -1,0 +1,133 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace vcsteer::stats {
+
+Table& Table::set_columns(std::vector<std::string> names) {
+  VCSTEER_CHECK_MSG(rows_.empty(), "set_columns after rows were added");
+  columns_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row() {
+  VCSTEER_CHECK_MSG(!columns_.empty(), "set_columns before row()");
+  VCSTEER_CHECK_MSG(rows_.empty() || rows_.back().size() == columns_.size(),
+                    "previous row incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  VCSTEER_CHECK_MSG(!rows_.empty(), "add() before row()");
+  VCSTEER_CHECK_MSG(rows_.back().size() < columns_.size(), "row overflow");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  VCSTEER_CHECK(row < rows_.size() && col < rows_[row].size());
+  return rows_[row][col];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : "";
+      os << (c == 0 ? "" : "  ");
+      os << v << std::string(widths[c] - v.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = columns_.empty() ? 0 : 2 * (columns_.size() - 1);
+  for (const std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  os << "### " << title_ << "\n\n|";
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ' ' << (c < row.size() ? row[c] : "") << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ',';
+      os << (c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text(); }
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double geomean_pct(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(1.0 + x / 100.0);
+  return (std::exp(log_sum / static_cast<double>(xs.size())) - 1.0) * 100.0;
+}
+
+double slowdown_pct(double base_ipc, double ipc) {
+  VCSTEER_CHECK(ipc > 0.0);
+  return (base_ipc / ipc - 1.0) * 100.0;
+}
+
+double speedup_pct(double ipc, double other_ipc) {
+  VCSTEER_CHECK(other_ipc > 0.0);
+  return (ipc / other_ipc - 1.0) * 100.0;
+}
+
+}  // namespace vcsteer::stats

@@ -1,0 +1,45 @@
+// MOD-N instruction-distribution heuristic [Baniasadi & Moshovos,
+// MICRO'00] — reference [3] of the paper. Every N-th micro-op the steering
+// unit moves to the next cluster in round-robin order: a slice of N
+// consecutive micro-ops (likely dependent) shares a cluster, and slices
+// spread across the machine. MOD3 was the strongest variant in the
+// original study. Requires no dependence information at all; serves as a
+// prior-art point between one-cluster and the dependence-based schemes in
+// bench/ablation_priorart.
+#pragma once
+
+#include "steer/policy.hpp"
+
+namespace vcsteer::steer {
+
+class ModNPolicy : public SteeringPolicy {
+ public:
+  explicit ModNPolicy(std::uint32_t n) : n_(n == 0 ? 1 : n) {}
+
+  SteerDecision choose(const isa::MicroOp&, const SteerView& view) override {
+    return SteerDecision::to(cluster_ % view.num_clusters());
+  }
+
+  void on_dispatched(const isa::MicroOp&, std::uint32_t) override {
+    if (++count_ == n_) {
+      count_ = 0;
+      ++cluster_;
+    }
+  }
+
+  void reset() override {
+    count_ = 0;
+    cluster_ = 0;
+  }
+
+  std::string name() const override {
+    return "MOD" + std::to_string(n_);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t count_ = 0;
+  std::uint32_t cluster_ = 0;
+};
+
+}  // namespace vcsteer::steer

@@ -1,0 +1,95 @@
+#include "steer/op_policy.hpp"
+
+#include <limits>
+
+namespace vcsteer::steer {
+
+int OpPolicy::home_of(const SteerView& view, isa::ArchReg reg) const {
+  return view.value_home(reg);
+}
+
+int ParallelOpPolicy::home_of(const SteerView& view, isa::ArchReg reg) const {
+  return view.value_home_stale(reg);
+}
+
+SteerDecision OpPolicy::choose(const isa::MicroOp& uop,
+                               const SteerView& view) {
+  const std::uint32_t n = view.num_clusters();
+
+  // Votes per source operand: every cluster already holding (or already
+  // receiving a copy of) the value counts — steering there needs no new
+  // copy. The rename-table replica bits provide this for free (§4.3). A
+  // source still in flight weighs double: consuming it remotely puts a copy
+  // on the critical path, whereas a long-ready value's copy can be hidden.
+  std::uint32_t votes[16] = {};
+  std::uint32_t total_votes = 0;
+  for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
+    const int home = home_of(view, uop.srcs[s]);
+    if (home == kNoHome) continue;
+    const std::uint32_t weight = view.value_in_flight(uop.srcs[s]) ? 2 : 1;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (static_cast<int>(c) == home ||
+          (replica_aware() && view.value_in_cluster(uop.srcs[s], c))) {
+        votes[c] += weight;
+        total_votes += weight;
+      }
+    }
+  }
+
+  auto least_loaded = [&view, n]() {
+    std::uint32_t best = 0;
+    std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint32_t load = view.inflight(c);
+      if (load < best_load) {
+        best_load = load;
+        best = c;
+      }
+    }
+    return best;
+  };
+
+  std::uint32_t preferred;
+  if (total_votes == 0) {
+    preferred = least_loaded();
+  } else {
+    // Most votes; tie broken towards the least loaded cluster.
+    preferred = 0;
+    std::uint32_t best_votes = 0;
+    std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint32_t load = view.inflight(c);
+      if (votes[c] > best_votes ||
+          (votes[c] == best_votes && votes[c] > 0 && load < best_load)) {
+        best_votes = votes[c];
+        best_load = load;
+        preferred = c;
+      }
+    }
+  }
+
+  const std::uint32_t capacity = view.iq_capacity(uop.op);
+  if (view.iq_occupancy(preferred, uop.op) < capacity) {
+    return SteerDecision::to(preferred);
+  }
+
+  // Preferred cluster is full. Stall-over-steer: only divert when another
+  // cluster is clearly idle (below the occupancy threshold); otherwise wait
+  // for the preferred cluster rather than paying copies on the critical path.
+  const auto threshold = static_cast<std::uint32_t>(
+      config_.op_occupancy_threshold * static_cast<double>(capacity));
+  int alternative = -1;
+  std::uint32_t alt_occ = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t c = 0; c < n; ++c) {
+    if (c == preferred) continue;
+    const std::uint32_t occ = view.iq_occupancy(c, uop.op);
+    if (occ < threshold && occ < alt_occ) {
+      alt_occ = occ;
+      alternative = static_cast<int>(c);
+    }
+  }
+  if (alternative >= 0) return SteerDecision::to(alternative);
+  return SteerDecision::stall();
+}
+
+}  // namespace vcsteer::steer

@@ -1,0 +1,49 @@
+// Occupancy-aware dependence-based steering (OP) [González, Latorre,
+// González, WMPI'04] — the paper's hardware-only baseline — and its
+// renaming-style parallel variant (paper §2.1).
+//
+// OP steers each micro-op, *sequentially within the decode bundle*, to the
+// cluster holding most of its source operands; ties go to the least loaded
+// cluster. If the preferred cluster's issue queue is full, OP prefers
+// stalling the front-end over steering to a busy remote cluster
+// (stall-over-steer): it only diverts when some other cluster is below the
+// occupancy threshold.
+//
+// ParallelOpPolicy makes the same decision from the *cycle-start* rename
+// view (what a single-pass, renaming-like implementation could read), which
+// is exactly the degradation the paper's §2.1 example illustrates.
+#pragma once
+
+#include "steer/policy.hpp"
+
+namespace vcsteer::steer {
+
+class OpPolicy : public SteeringPolicy {
+ public:
+  explicit OpPolicy(const MachineConfig& config) : config_(config) {}
+
+  SteerDecision choose(const isa::MicroOp& uop, const SteerView& view) override;
+  std::string name() const override { return "OP"; }
+
+ protected:
+  /// Hook distinguishing the sequential and parallel variants.
+  virtual int home_of(const SteerView& view, isa::ArchReg reg) const;
+  /// Sequential steering reads the live replica bits next to the rename
+  /// table; the single-pass parallel variant cannot (all its lookups are
+  /// cycle-start state).
+  virtual bool replica_aware() const { return true; }
+
+  MachineConfig config_;
+};
+
+class ParallelOpPolicy : public OpPolicy {
+ public:
+  explicit ParallelOpPolicy(const MachineConfig& config) : OpPolicy(config) {}
+  std::string name() const override { return "OP-parallel"; }
+
+ protected:
+  int home_of(const SteerView& view, isa::ArchReg reg) const override;
+  bool replica_aware() const override { return false; }
+};
+
+}  // namespace vcsteer::steer

@@ -1,0 +1,121 @@
+// Steering policy interface.
+//
+// The steering unit sits in the monolithic front-end (paper Figure 1) and
+// decides, per renamed micro-op, which physical cluster receives it — or
+// whether to stall the front-end (stall-over-steer, [15][24]). Policies see
+// machine state only through SteerView, which exposes exactly the
+// information the corresponding hardware could wire in:
+//   * occupancy counters (all schemes),
+//   * the rename-table value-location bits (dependence-based schemes only —
+//     the paper's Table 1 "dependence check" row),
+//   * both the *sequential* view (updated after every steered micro-op) and
+//     the *cycle-start* view (what a renaming-style parallel implementation
+//     would see, §2.1).
+// The hybrid VC policy deliberately uses none of the dependence-check
+// machinery: only its VC->PC mapping table and the occupancy counters,
+// which is the complexity reduction the paper claims (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "isa/uop.hpp"
+
+namespace vcsteer::steer {
+
+constexpr int kNoHome = -1;
+
+/// Read-only view of the machine state a steering unit can inspect.
+/// Implemented by the simulator core (and by lightweight mocks in tests).
+class SteerView {
+ public:
+  virtual ~SteerView() = default;
+
+  virtual std::uint32_t num_clusters() const = 0;
+
+  /// Occupancy of the issue queue that `op` would enter, in entries.
+  virtual std::uint32_t iq_occupancy(std::uint32_t cluster,
+                                     isa::OpClass op) const = 0;
+  virtual std::uint32_t iq_capacity(isa::OpClass op) const = 0;
+
+  /// Micro-ops steered to `cluster` and not yet completed — the workload
+  /// balance counters of the paper's Figure 4.
+  virtual std::uint32_t inflight(std::uint32_t cluster) const = 0;
+
+  /// Cluster producing/holding the current value of `reg` (sequential view,
+  /// reflecting all previously steered micro-ops), or kNoHome when the value
+  /// has no producer in flight and no recorded home.
+  virtual int value_home(isa::ArchReg reg) const = 0;
+
+  /// Same, but frozen at the start of the current decode cycle — what a
+  /// parallel (register-renaming-style) steering implementation would see.
+  virtual int value_home_stale(isa::ArchReg reg) const = 0;
+
+  /// True when the value of `reg` is (or is already being copied)
+  /// into `cluster`.
+  virtual bool value_in_cluster(isa::ArchReg reg,
+                                std::uint32_t cluster) const = 0;
+
+  /// True while the producer of `reg`'s current value has not completed —
+  /// following such a source avoids a copy on the critical path, which the
+  /// occupancy-aware scheme prioritises.
+  virtual bool value_in_flight(isa::ArchReg reg) const = 0;
+};
+
+struct SteerDecision {
+  static constexpr int kStall = -1;
+  int cluster = kStall;
+
+  static SteerDecision stall() { return SteerDecision{kStall}; }
+  static SteerDecision to(std::uint32_t c) {
+    return SteerDecision{static_cast<int>(c)};
+  }
+  bool is_stall() const { return cluster == kStall; }
+};
+
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+
+  /// Called once at the start of every decode cycle (lets the parallel
+  /// policy snapshot state; most policies ignore it).
+  virtual void begin_cycle(const SteerView& /*view*/) {}
+
+  /// Decide the destination cluster for `uop` (or stall). Must not mutate
+  /// externally visible policy state — commit happens in on_dispatched.
+  virtual SteerDecision choose(const isa::MicroOp& uop,
+                               const SteerView& view) = 0;
+
+  /// Called when the micro-op actually dispatched to `cluster` (a choose()
+  /// result can fail to dispatch when downstream resources are full).
+  virtual void on_dispatched(const isa::MicroOp& /*uop*/,
+                             std::uint32_t /*cluster*/) {}
+
+  virtual void reset() {}
+  virtual std::string name() const = 0;
+};
+
+/// The steering schemes of the paper's Table 3 (+ the §2.1 parallel
+/// implementation of dependence-based steering as an ablation).
+enum class Scheme {
+  kOp,          ///< occupancy-aware hardware steering [15] — baseline.
+  kOneCluster,  ///< everything to cluster 0.
+  kOb,          ///< SPDI operation-based static placement [19].
+  kRhop,        ///< RHOP multilevel-partitioning static placement [8].
+  kVc,          ///< this paper: hybrid virtual-cluster steering.
+  kParallelOp,  ///< §2.1: OP with cycle-start (renaming-style) information.
+};
+
+const char* scheme_name(Scheme scheme);
+
+/// True when the scheme requires a software pass to annotate the program.
+bool needs_software_pass(Scheme scheme);
+
+/// Instantiate the hardware side of a scheme. OB and RHOP share the
+/// static-assignment follower; they differ only in the compiler pass.
+std::unique_ptr<SteeringPolicy> make_policy(Scheme scheme,
+                                            const MachineConfig& config);
+
+}  // namespace vcsteer::steer

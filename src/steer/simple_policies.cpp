@@ -1,0 +1,5 @@
+#include "steer/simple_policies.hpp"
+
+// Header-only policies; this translation unit anchors their vtables.
+
+namespace vcsteer::steer {}  // namespace vcsteer::steer

@@ -1,0 +1,39 @@
+// The remaining hardware steering units:
+//  * OneClusterPolicy — the paper's naive "one-cluster" configuration: every
+//    micro-op to cluster 0 (zero copies, worst balance).
+//  * StaticFollowerPolicy — hardware side of the software-only schemes
+//    (OB/SPDI and RHOP): the compiler encoded a physical cluster in the
+//    instruction; the hardware follows it blindly and needs no steering
+//    logic at all.
+#pragma once
+
+#include "steer/policy.hpp"
+
+namespace vcsteer::steer {
+
+class OneClusterPolicy : public SteeringPolicy {
+ public:
+  SteerDecision choose(const isa::MicroOp&, const SteerView&) override {
+    return SteerDecision::to(0);
+  }
+  std::string name() const override { return "one-cluster"; }
+};
+
+class StaticFollowerPolicy : public SteeringPolicy {
+ public:
+  explicit StaticFollowerPolicy(std::string label) : label_(std::move(label)) {}
+
+  SteerDecision choose(const isa::MicroOp& uop, const SteerView& view) override {
+    if (!uop.hint.has_static_cluster()) return SteerDecision::to(0);
+    // Defensive clamp: a program annotated for a wider machine must still
+    // run (tests exercise this), matching a hardware modulo on cluster bits.
+    return SteerDecision::to(static_cast<std::uint32_t>(uop.hint.static_cluster) %
+                             view.num_clusters());
+  }
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+};
+
+}  // namespace vcsteer::steer

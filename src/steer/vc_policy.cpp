@@ -1,0 +1,62 @@
+#include "steer/vc_policy.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace vcsteer::steer {
+
+VcPolicy::VcPolicy(const MachineConfig& config, std::uint32_t num_vcs)
+    : num_vcs_(num_vcs) {
+  VCSTEER_CHECK(num_vcs >= 1 && num_vcs < isa::SteerHint::kNoVc);
+  (void)config;
+  reset();
+}
+
+void VcPolicy::reset() {
+  table_.assign(num_vcs_, kNoHome);
+  remaps_ = 0;
+}
+
+std::string VcPolicy::name() const {
+  return "VC(" + std::to_string(num_vcs_) + ")";
+}
+
+std::uint32_t VcPolicy::least_loaded(const SteerView& view) const {
+  std::uint32_t best = 0;
+  std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t c = 0; c < view.num_clusters(); ++c) {
+    const std::uint32_t load = view.inflight(c);
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+    }
+  }
+  return best;
+}
+
+SteerDecision VcPolicy::choose(const isa::MicroOp& uop,
+                               const SteerView& view) {
+  // Micro-ops without a VC hint (possible when the software pass never saw
+  // the block) fall back to the least loaded cluster — the cheapest decision
+  // the counters alone can make.
+  if (!uop.hint.has_vc()) return SteerDecision::to(least_loaded(view));
+
+  const std::uint32_t vc = uop.hint.vc_id % num_vcs_;
+  if (uop.hint.chain_leader || table_[vc] == kNoHome) {
+    // Figure 4: chain leader -> check workload counters, remap the VC.
+    return SteerDecision::to(least_loaded(view));
+  }
+  return SteerDecision::to(static_cast<std::uint32_t>(table_[vc]));
+}
+
+void VcPolicy::on_dispatched(const isa::MicroOp& uop, std::uint32_t cluster) {
+  if (!uop.hint.has_vc()) return;
+  const std::uint32_t vc = uop.hint.vc_id % num_vcs_;
+  if (uop.hint.chain_leader || table_[vc] == kNoHome) {
+    if (table_[vc] != static_cast<int>(cluster)) ++remaps_;
+    table_[vc] = static_cast<int>(cluster);
+  }
+}
+
+}  // namespace vcsteer::steer

@@ -1,0 +1,39 @@
+// Hardware side of the hybrid virtual-cluster scheme (paper §4.3, Figure 4).
+//
+// The only state is (1) the workload-balance counters — read from SteerView,
+// the simulator maintains them anyway — and (2) a small table mapping each
+// virtual cluster to a physical cluster. When a chain leader is decoded the
+// counters are consulted and the leader's VC is remapped to the least loaded
+// physical cluster; all following non-leader micro-ops of that VC simply
+// look the mapping up. No dependence checking, no voting, no serialization:
+// the per-micro-op work is one table read (paper Table 1).
+#pragma once
+
+#include <vector>
+
+#include "steer/policy.hpp"
+
+namespace vcsteer::steer {
+
+class VcPolicy : public SteeringPolicy {
+ public:
+  VcPolicy(const MachineConfig& config, std::uint32_t num_vcs);
+
+  SteerDecision choose(const isa::MicroOp& uop, const SteerView& view) override;
+  void on_dispatched(const isa::MicroOp& uop, std::uint32_t cluster) override;
+  void reset() override;
+  std::string name() const override;
+
+  /// Current VC->PC mapping (for tests and diagnostics).
+  int mapping(std::uint32_t vc) const { return table_[vc]; }
+  std::uint64_t remaps() const { return remaps_; }
+
+ private:
+  std::uint32_t least_loaded(const SteerView& view) const;
+
+  std::uint32_t num_vcs_;
+  std::vector<int> table_;  ///< VC -> physical cluster, kNoHome when unmapped.
+  std::uint64_t remaps_ = 0;
+};
+
+}  // namespace vcsteer::steer

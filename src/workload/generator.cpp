@@ -1,0 +1,328 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace vcsteer::workload {
+namespace {
+
+using isa::ArchReg;
+using isa::OpClass;
+using isa::RegFile;
+
+constexpr std::uint8_t kNumGlobalRegs = 4;  // r0..r3 / f0..f3 live cross-block
+
+/// Per-chain register rotation: each chain owns two chain-local registers and
+/// alternates between them, so consecutive results of one chain do not
+/// overwrite each other before use.
+struct Chain {
+  bool fp = false;
+  ArchReg regs[2];
+  std::uint8_t next_reg = 0;
+  bool has_last = false;
+  ArchReg last{};          ///< register holding the chain's latest result.
+  ArchReg addr_reg{};      ///< INT register used for this chain's addresses.
+  bool addr_live = false;  ///< addr_reg holds a previous load result
+                           ///< (pointer-chase dependence).
+
+  ArchReg rotate() {
+    const ArchReg r = regs[next_reg];
+    next_reg ^= 1;
+    return r;
+  }
+};
+
+class Generator {
+ public:
+  explicit Generator(const WorkloadProfile& profile)
+      : profile_(profile), rng_(profile.seed(/*stream=*/1)) {}
+
+  GeneratedWorkload run() {
+    GeneratedWorkload out;
+    out.profile = profile_;
+    prog::ProgramBuilder builder(profile_.name);
+
+    const std::uint32_t n = std::max(2u, profile_.num_blocks);
+    plan_segments(n);
+    for (std::uint32_t b = 0; b < n; ++b) {
+      builder.begin_block();
+      emit_block_body(builder, out);
+      builder.end_block(successors_of(b, n));
+    }
+    builder.set_entry(0);
+    out.program = std::move(builder).finish();
+    out.stream_of_uop.resize(out.program.num_uops(), kNoStream);
+    for (const auto& [uop, stream] : pending_streams_) {
+      out.stream_of_uop[uop] = stream;
+    }
+    out.streams = std::move(streams_);
+    return out;
+  }
+
+ private:
+  /// CFG plan: the ring of blocks is partitioned into *loop segments* of
+  /// 2-5 blocks. Within a segment blocks fall through (with occasional
+  /// if-then diamonds); the segment's last block either back-edges to the
+  /// segment header (iterating the loop a geometrically distributed number
+  /// of times) or proceeds to the next segment. The walker therefore sweeps
+  /// the whole ring regularly — a structured loop nest rather than a
+  /// backward-drifting chain whose far blocks would never execute.
+  void plan_segments(std::uint32_t n) {
+    segment_start_.assign(n, 0);
+    segment_loop_prob_.assign(n, 0.0);
+    std::uint32_t start = 0;
+    while (start < n) {
+      const std::uint32_t len =
+          std::min<std::uint32_t>(static_cast<std::uint32_t>(rng_.range(2, 5)),
+                                  n - start);
+      const bool loops = rng_.chance(profile_.loop_backedge_prob);
+      const double p_back = loops ? 0.45 + 0.4 * rng_.uniform() : 0.0;
+      for (std::uint32_t b = start; b < start + len; ++b) {
+        segment_start_[b] = start;
+        segment_loop_prob_[b] = p_back;
+      }
+      start += len;
+    }
+  }
+
+  std::vector<prog::CfgEdge> successors_of(std::uint32_t b, std::uint32_t n) {
+    std::vector<prog::CfgEdge> succs;
+    const std::uint32_t next = (b + 1) % n;
+    const bool is_segment_tail =
+        b + 1 >= n || segment_start_[b + 1] != segment_start_[b];
+    if (is_segment_tail) {
+      const double p_back = segment_loop_prob_[b];
+      const std::uint32_t header = segment_start_[b];
+      if (p_back > 0.0 && header != next) {
+        succs.push_back({header, p_back});
+        succs.push_back({next, 1.0 - p_back});
+      } else {
+        succs.push_back({next, 1.0});
+      }
+    } else if (rng_.chance(0.3) && b + 2 < n &&
+               segment_start_[b + 2] == segment_start_[b]) {
+      // If-then diamond inside the segment: optionally skip one block.
+      succs.push_back({next, 0.7});
+      succs.push_back({b + 2, 0.3});
+    } else {
+      succs.push_back({next, 1.0});
+    }
+    return succs;
+  }
+
+  /// Independent dependence chains for one block. Chain count is drawn
+  /// around profile.ilp_chains; each chain is INT or FP per fp_fraction so
+  /// FP values flow through FP chains (coherent FP dataflow).
+  std::vector<Chain> make_chains() {
+    const double mean = std::max(1.0, profile_.ilp_chains);
+    int count = static_cast<int>(std::lround(
+        mean + (rng_.uniform() + rng_.uniform() - 1.0) * mean * 0.5));
+    count = std::clamp(count, 1, 6);
+    std::vector<Chain> chains(static_cast<std::size_t>(count));
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      Chain& c = chains[i];
+      c.fp = profile_.fp_fraction > 0.0 && rng_.chance(profile_.fp_fraction);
+      const RegFile file = c.fp ? RegFile::kFp : RegFile::kInt;
+      const std::uint8_t base = static_cast<std::uint8_t>(
+          kNumGlobalRegs + (2 * i) % (isa::kNumArchRegs - kNumGlobalRegs));
+      c.regs[0] = {file, base};
+      c.regs[1] = {file, static_cast<std::uint8_t>(
+                             kNumGlobalRegs +
+                             (base - kNumGlobalRegs + 1) %
+                                 (isa::kNumArchRegs - kNumGlobalRegs))};
+      // Address registers come from the INT file, offset so chains rarely
+      // collide.
+      c.addr_reg = {RegFile::kInt,
+                    static_cast<std::uint8_t>(
+                        kNumGlobalRegs +
+                        (2 * i + 7) % (isa::kNumArchRegs - kNumGlobalRegs))};
+    }
+    return chains;
+  }
+
+  ArchReg global_reg(RegFile file) {
+    return {file, static_cast<std::uint8_t>(rng_.below(kNumGlobalRegs))};
+  }
+
+  /// A source for a chain op: mostly the chain's own last value (chain_bias),
+  /// otherwise a cross-block global or another chain's value (ILP edges the
+  /// steering schemes must reason about).
+  ArchReg pick_source(const std::vector<Chain>& chains, std::size_t ci) {
+    const Chain& c = chains[ci];
+    const RegFile file = c.fp ? RegFile::kFp : RegFile::kInt;
+    if (c.has_last && rng_.chance(profile_.chain_bias)) return c.last;
+    if (rng_.chance(profile_.cross_block_reuse)) return global_reg(file);
+    // Cross-chain edge: last value of a random same-file chain, else global.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const std::size_t other = rng_.below(chains.size());
+      if (chains[other].fp == c.fp && chains[other].has_last) {
+        return chains[other].last;
+      }
+    }
+    return global_reg(file);
+  }
+
+  std::uint32_t new_stream(MemStream::Kind kind) {
+    MemStream s;
+    s.kind = kind;
+    s.stride_bytes = rng_.chance(0.5) ? 8 : 64;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(profile_.working_set_kb) * 1024;
+    // Each stream covers a slice of the working set; at least one page.
+    s.region_bytes = std::max<std::uint64_t>(4096, total / 8);
+    streams_.push_back(s);
+    return static_cast<std::uint32_t>(streams_.size() - 1);
+  }
+
+  void emit_block_body(prog::ProgramBuilder& builder, GeneratedWorkload&) {
+    const std::uint32_t n_uops = static_cast<std::uint32_t>(rng_.range(
+        profile_.min_block_uops, std::max(profile_.min_block_uops,
+                                          profile_.max_block_uops)));
+    std::vector<Chain> chains = make_chains();
+
+    // Positions of the loop-carried accumulator updates (g = g op x),
+    // spread through the block. They read *and* write a global register,
+    // serialising consecutive executions of this block.
+    std::uint32_t carried_left =
+        std::min(profile_.loop_carried_deps, n_uops > 2 ? n_uops / 4 : 0u);
+
+    for (std::uint32_t k = 0; k + 1 < n_uops; ++k) {
+      const std::size_t ci = rng_.below(chains.size());
+      Chain& chain = chains[ci];
+      if (carried_left > 0 &&
+          rng_.chance(static_cast<double>(carried_left) /
+                      static_cast<double>(n_uops - 1 - k))) {
+        --carried_left;
+        emit_loop_carried(builder, chains, ci);
+        continue;
+      }
+      const double roll = rng_.uniform();
+      if (roll < profile_.load_fraction) {
+        emit_load(builder, chains, ci);
+      } else if (roll < profile_.load_fraction + profile_.store_fraction) {
+        emit_store(builder, chains, ci);
+      } else {
+        emit_compute(builder, chains, ci, chain);
+      }
+    }
+    // Terminator: conditional branch testing a recent INT value.
+    ArchReg cond = global_reg(RegFile::kInt);
+    for (const Chain& c : chains) {
+      if (!c.fp && c.has_last) cond = c.last;
+    }
+    builder.add_void(OpClass::kBranch, {cond});
+  }
+
+  void emit_compute(prog::ProgramBuilder& builder, std::vector<Chain>& chains,
+                    std::size_t ci, Chain& chain) {
+    const double mix = rng_.uniform();
+    OpClass op;
+    if (chain.fp) {
+      if (mix < profile_.div_fraction) {
+        op = OpClass::kFpDiv;
+      } else if (mix < profile_.div_fraction + profile_.mul_fraction) {
+        op = OpClass::kFpMul;
+      } else {
+        op = OpClass::kFpAdd;
+      }
+    } else {
+      if (mix < profile_.div_fraction) {
+        op = OpClass::kIntDiv;
+      } else if (mix < profile_.div_fraction + profile_.mul_fraction) {
+        op = OpClass::kIntMul;
+      } else {
+        op = OpClass::kIntAlu;
+      }
+    }
+    const ArchReg src1 = pick_source(chains, ci);
+    // ~10% of results go to a global register (live across blocks).
+    const ArchReg dst = rng_.chance(0.1)
+                            ? global_reg(chain.fp ? RegFile::kFp : RegFile::kInt)
+                            : chain.rotate();
+    if (rng_.chance(0.7)) {
+      const ArchReg src2 = pick_source(chains, ci);
+      builder.add(op, dst, {src1, src2});
+    } else {
+      builder.add(op, dst, {src1});
+    }
+    chain.has_last = true;
+    chain.last = dst;
+  }
+
+  /// Accumulator / induction update: g = g op chain_value. The global both
+  /// feeds and receives the op, carrying a dependence into the next
+  /// execution of this block (and, via the shared global file, into other
+  /// blocks).
+  void emit_loop_carried(prog::ProgramBuilder& builder,
+                         std::vector<Chain>& chains, std::size_t ci) {
+    Chain& chain = chains[ci];
+    const isa::RegFile file = chain.fp ? RegFile::kFp : RegFile::kInt;
+    const ArchReg g = global_reg(file);
+    const OpClass op = chain.fp ? OpClass::kFpAdd : OpClass::kIntAlu;
+    if (chain.has_last && rng_.chance(0.6)) {
+      builder.add(op, g, {g, chain.last});
+    } else {
+      builder.add(op, g, {g});
+    }
+  }
+
+  void emit_load(prog::ProgramBuilder& builder, std::vector<Chain>& chains,
+                 std::size_t ci) {
+    Chain& chain = chains[ci];
+    const bool chase =
+        profile_.pointer_chase > 0 && rng_.chance(profile_.pointer_chase);
+    // Pointer chase: the address register is a previous load's destination,
+    // creating the serial load->address->load dependence of list walks.
+    ArchReg addr = chase && chain.addr_live ? chain.addr_reg
+                                            : global_reg(RegFile::kInt);
+    ArchReg dst;
+    if (chase) {
+      dst = chain.addr_reg;  // next chase step consumes this result
+      chain.addr_live = true;
+    } else {
+      dst = chain.fp ? chain.rotate() : chain.rotate();
+    }
+    const prog::UopId id = builder.add(OpClass::kLoad, dst, {addr});
+    const auto kind = chase ? MemStream::Kind::kPointer
+                     : rng_.chance(profile_.stride_fraction)
+                         ? MemStream::Kind::kStrided
+                         : MemStream::Kind::kRandom;
+    pending_streams_.emplace_back(id, new_stream(kind));
+    if (!chase) {
+      chain.has_last = true;
+      chain.last = dst;
+    }
+  }
+
+  void emit_store(prog::ProgramBuilder& builder, std::vector<Chain>& chains,
+                  std::size_t ci) {
+    Chain& chain = chains[ci];
+    const ArchReg addr = global_reg(RegFile::kInt);
+    const ArchReg data =
+        chain.has_last ? chain.last
+                       : global_reg(chain.fp ? RegFile::kFp : RegFile::kInt);
+    const prog::UopId id = builder.add_void(OpClass::kStore, {addr, data});
+    const auto kind = rng_.chance(profile_.stride_fraction)
+                          ? MemStream::Kind::kStrided
+                          : MemStream::Kind::kRandom;
+    pending_streams_.emplace_back(id, new_stream(kind));
+  }
+
+  const WorkloadProfile& profile_;
+  Rng rng_;
+  std::vector<MemStream> streams_;
+  std::vector<std::pair<prog::UopId, std::uint32_t>> pending_streams_;
+  std::vector<std::uint32_t> segment_start_;   ///< loop header per block.
+  std::vector<double> segment_loop_prob_;      ///< back-edge probability.
+};
+
+}  // namespace
+
+GeneratedWorkload generate(const WorkloadProfile& profile) {
+  return Generator(profile).run();
+}
+
+}  // namespace vcsteer::workload

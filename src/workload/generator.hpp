@@ -1,0 +1,45 @@
+// Synthetic program generator.
+//
+// Turns a WorkloadProfile into (a) a static Program whose basic blocks are
+// built from a controllable number of dependence chains (ILP), with
+// controllable chain depth, FP/INT mix, memory intensity and cross-block
+// register reuse, and (b) a table of per-static-load/store *memory streams*
+// that the trace generator uses to produce addresses with the profile's
+// locality (strided / uniform-random / pointer-chase within the working
+// set).
+//
+// Register discipline: r0..r3 / f0..f3 are "global" registers carrying
+// values across basic blocks (the compiler passes cannot see those
+// dependences, exactly like a real per-region compiler scope); the remaining
+// registers are chain-local.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer::workload {
+
+struct MemStream {
+  enum class Kind : std::uint8_t { kStrided, kRandom, kPointer };
+  Kind kind = Kind::kStrided;
+  std::uint32_t stride_bytes = 8;
+  std::uint64_t region_bytes = 4096;  ///< footprint of this stream.
+};
+
+constexpr std::uint32_t kNoStream = ~0u;
+
+struct GeneratedWorkload {
+  WorkloadProfile profile;
+  prog::Program program{"empty"};
+  /// Memory stream id per static uop (kNoStream for non-memory uops).
+  std::vector<std::uint32_t> stream_of_uop;
+  std::vector<MemStream> streams;
+};
+
+/// Deterministic: same profile (name + parameters) => identical workload.
+GeneratedWorkload generate(const WorkloadProfile& profile);
+
+}  // namespace vcsteer::workload

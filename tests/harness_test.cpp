@@ -1,0 +1,121 @@
+// Tests for the experiment harness: scheme labels, annotation dispatch,
+// policy construction, and PinPoints-weighted aggregation.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer::harness {
+namespace {
+
+const workload::WorkloadProfile& smoke_profile() {
+  const workload::WorkloadProfile* p = workload::find_profile("186.crafty");
+  EXPECT_NE(p, nullptr);
+  return *p;
+}
+
+TEST(SchemeSpec, Labels) {
+  const MachineConfig m2 = MachineConfig::two_cluster();
+  const MachineConfig m4 = MachineConfig::four_cluster();
+  EXPECT_EQ((SchemeSpec{steer::Scheme::kOp, 0}).label(m2), "OP");
+  EXPECT_EQ((SchemeSpec{steer::Scheme::kOneCluster, 0}).label(m2),
+            "one-cluster");
+  EXPECT_EQ((SchemeSpec{steer::Scheme::kVc, 0}).label(m2), "VC(2->2)");
+  EXPECT_EQ((SchemeSpec{steer::Scheme::kVc, 0}).label(m4), "VC(4->4)");
+  EXPECT_EQ((SchemeSpec{steer::Scheme::kVc, 2}).label(m4), "VC(2->4)");
+}
+
+TEST(Annotate, VcSchemeSetsVcHints) {
+  workload::GeneratedWorkload wl = workload::generate(smoke_profile());
+  annotate_for_scheme(wl.program, {steer::Scheme::kVc, 2},
+                      MachineConfig::two_cluster());
+  bool any_leader = false;
+  for (prog::UopId u = 0; u < wl.program.num_uops(); ++u) {
+    EXPECT_TRUE(wl.program.uop(u).hint.has_vc());
+    EXPECT_FALSE(wl.program.uop(u).hint.has_static_cluster());
+    any_leader |= wl.program.uop(u).hint.chain_leader;
+  }
+  EXPECT_TRUE(any_leader);
+}
+
+TEST(Annotate, StaticSchemesSetClusters) {
+  workload::GeneratedWorkload wl = workload::generate(smoke_profile());
+  for (const auto scheme : {steer::Scheme::kOb, steer::Scheme::kRhop}) {
+    annotate_for_scheme(wl.program, {scheme, 0}, MachineConfig::two_cluster());
+    for (prog::UopId u = 0; u < wl.program.num_uops(); ++u) {
+      EXPECT_TRUE(wl.program.uop(u).hint.has_static_cluster());
+      EXPECT_FALSE(wl.program.uop(u).hint.has_vc());
+    }
+  }
+}
+
+TEST(Annotate, HardwareSchemesClearHints) {
+  workload::GeneratedWorkload wl = workload::generate(smoke_profile());
+  annotate_for_scheme(wl.program, {steer::Scheme::kVc, 2},
+                      MachineConfig::two_cluster());
+  annotate_for_scheme(wl.program, {steer::Scheme::kOp, 0},
+                      MachineConfig::two_cluster());
+  for (prog::UopId u = 0; u < wl.program.num_uops(); ++u) {
+    EXPECT_FALSE(wl.program.uop(u).hint.has_vc());
+    EXPECT_FALSE(wl.program.uop(u).hint.has_static_cluster());
+  }
+}
+
+TEST(PolicyFactory, VcRespectsRequestedVcCount) {
+  const MachineConfig m4 = MachineConfig::four_cluster();
+  const auto p24 = policy_for_scheme({steer::Scheme::kVc, 2}, m4);
+  EXPECT_EQ(p24->name(), "VC(2)");
+  const auto p44 = policy_for_scheme({steer::Scheme::kVc, 0}, m4);
+  EXPECT_EQ(p44->name(), "VC(4)");
+}
+
+TEST(Experiment, RunsAndAggregates) {
+  TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
+                             SimBudget::smoke());
+  EXPECT_FALSE(experiment.simpoints().empty());
+  double weight = 0;
+  for (const auto& p : experiment.simpoints()) weight += p.weight;
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+
+  const RunResult result = experiment.run({steer::Scheme::kOp, 0});
+  EXPECT_EQ(result.trace, "186.crafty");
+  EXPECT_EQ(result.scheme, "OP");
+  EXPECT_GT(result.ipc, 0.1);
+  EXPECT_LT(result.ipc, 6.0);
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.committed_uops, 0u);
+}
+
+TEST(Experiment, DeterministicAcrossInstances) {
+  const SimBudget budget = SimBudget::smoke();
+  const MachineConfig machine = MachineConfig::two_cluster();
+  TraceExperiment a(smoke_profile(), machine, budget);
+  TraceExperiment b(smoke_profile(), machine, budget);
+  const RunResult ra = a.run({steer::Scheme::kVc, 2});
+  const RunResult rb = b.run({steer::Scheme::kVc, 2});
+  EXPECT_DOUBLE_EQ(ra.ipc, rb.ipc);
+  EXPECT_DOUBLE_EQ(ra.copies_per_kuop, rb.copies_per_kuop);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+}
+
+TEST(Experiment, RerunSameSchemeIsIdempotent) {
+  TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
+                             SimBudget::smoke());
+  const RunResult first = experiment.run({steer::Scheme::kRhop, 0});
+  experiment.run({steer::Scheme::kOp, 0});  // interleave another scheme
+  const RunResult second = experiment.run({steer::Scheme::kRhop, 0});
+  EXPECT_DOUBLE_EQ(first.ipc, second.ipc);
+  EXPECT_EQ(first.cycles, second.cycles);
+}
+
+TEST(Experiment, OneClusterUsesOnlyClusterZero) {
+  TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
+                             SimBudget::smoke());
+  const RunResult r = experiment.run({steer::Scheme::kOneCluster, 0});
+  EXPECT_DOUBLE_EQ(r.copies_per_kuop, 0.0);
+  EXPECT_EQ(r.last_interval.dispatched_to[1], 0u);
+  EXPECT_GT(r.last_interval.dispatched_to[0], 0u);
+}
+
+}  // namespace
+}  // namespace vcsteer::harness

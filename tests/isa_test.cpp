@@ -1,0 +1,107 @@
+// Unit tests for the micro-op model.
+#include <gtest/gtest.h>
+
+#include "isa/uop.hpp"
+
+namespace vcsteer::isa {
+namespace {
+
+TEST(Latency, MatchesClassTable) {
+  EXPECT_EQ(latency(OpClass::kIntAlu), 1u);
+  EXPECT_EQ(latency(OpClass::kIntMul), 3u);
+  EXPECT_EQ(latency(OpClass::kIntDiv), 20u);
+  EXPECT_EQ(latency(OpClass::kFpAdd), 3u);
+  EXPECT_EQ(latency(OpClass::kFpMul), 5u);
+  EXPECT_EQ(latency(OpClass::kFpDiv), 20u);
+  EXPECT_EQ(latency(OpClass::kCopy), 1u);
+}
+
+TEST(QueueKind, OnlyFpOpsUseFpQueue) {
+  EXPECT_TRUE(uses_fp_queue(OpClass::kFpAdd));
+  EXPECT_TRUE(uses_fp_queue(OpClass::kFpMul));
+  EXPECT_TRUE(uses_fp_queue(OpClass::kFpDiv));
+  EXPECT_FALSE(uses_fp_queue(OpClass::kIntAlu));
+  EXPECT_FALSE(uses_fp_queue(OpClass::kLoad));
+  EXPECT_FALSE(uses_fp_queue(OpClass::kStore));
+  EXPECT_FALSE(uses_fp_queue(OpClass::kBranch));
+  EXPECT_FALSE(uses_fp_queue(OpClass::kCopy));
+}
+
+TEST(FlatReg, IntAndFpFilesDisjoint) {
+  const ArchReg r3{RegFile::kInt, 3};
+  const ArchReg f3{RegFile::kFp, 3};
+  EXPECT_NE(flat_reg(r3), flat_reg(f3));
+  EXPECT_EQ(flat_reg(r3), 3u);
+  EXPECT_EQ(flat_reg(f3), kNumArchRegs + 3u);
+  EXPECT_LT(flat_reg({RegFile::kFp, kNumArchRegs - 1}), kNumFlatRegs);
+}
+
+TEST(SteerHint, DefaultsAreUnset) {
+  const SteerHint hint;
+  EXPECT_FALSE(hint.has_vc());
+  EXPECT_FALSE(hint.has_static_cluster());
+  EXPECT_FALSE(hint.chain_leader);
+}
+
+TEST(SteerHint, SettersVisible) {
+  SteerHint hint;
+  hint.vc_id = 1;
+  hint.static_cluster = 3;
+  EXPECT_TRUE(hint.has_vc());
+  EXPECT_TRUE(hint.has_static_cluster());
+}
+
+TEST(MicroOp, ClassPredicates) {
+  MicroOp load;
+  load.op = OpClass::kLoad;
+  EXPECT_TRUE(load.is_load());
+  EXPECT_TRUE(load.is_mem());
+  EXPECT_FALSE(load.is_store());
+  EXPECT_FALSE(load.is_fp());
+
+  MicroOp fmul;
+  fmul.op = OpClass::kFpMul;
+  EXPECT_TRUE(fmul.is_fp());
+  EXPECT_FALSE(fmul.is_mem());
+
+  MicroOp br;
+  br.op = OpClass::kBranch;
+  EXPECT_TRUE(br.is_branch());
+}
+
+TEST(ToString, RendersOperandsAndHints) {
+  MicroOp u;
+  u.op = OpClass::kIntAlu;
+  u.has_dst = true;
+  u.dst = {RegFile::kInt, 3};
+  u.num_srcs = 2;
+  u.srcs[0] = {RegFile::kInt, 1};
+  u.srcs[1] = {RegFile::kFp, 2};
+  u.hint.vc_id = 1;
+  u.hint.chain_leader = true;
+  const std::string s = to_string(u);
+  EXPECT_NE(s.find("iadd"), std::string::npos);
+  EXPECT_NE(s.find("r3"), std::string::npos);
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find("f2"), std::string::npos);
+  EXPECT_NE(s.find("vc=1"), std::string::npos);
+  EXPECT_NE(s.find("L"), std::string::npos);
+}
+
+TEST(ToString, StaticClusterHint) {
+  MicroOp u;
+  u.op = OpClass::kStore;
+  u.num_srcs = 1;
+  u.srcs[0] = {RegFile::kInt, 0};
+  u.hint.static_cluster = 2;
+  EXPECT_NE(to_string(u).find("pc=2"), std::string::npos);
+}
+
+TEST(Mnemonic, AllClassesNamed) {
+  for (int op = 0; op < static_cast<int>(kNumOpClasses); ++op) {
+    EXPECT_STRNE(mnemonic(static_cast<OpClass>(op)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace vcsteer::isa

@@ -1,0 +1,167 @@
+// Tests for the memory hierarchy: cache geometry/LRU behaviour, Table 2
+// latencies, port arbitration and functional warming.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace vcsteer::mem {
+namespace {
+
+CacheConfig tiny_cache() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return CacheConfig{512, 2, 64, 1};
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x13f));  // same 64B line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, SetConflictEvictsLru) {
+  Cache c(tiny_cache());
+  // Three lines mapping to set 0 (stride = 4 sets * 64B = 256B).
+  c.access(0x000);
+  c.access(0x100);
+  c.access(0x000);  // touch: 0x100 becomes LRU
+  c.access(0x200);  // evicts 0x100
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_FALSE(c.contains(0x100));
+  EXPECT_TRUE(c.contains(0x200));
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  Cache c(tiny_cache());
+  c.access(0x000);
+  c.access(0x040);
+  c.access(0x080);
+  c.access(0x0c0);
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_TRUE(c.contains(0x040));
+  EXPECT_TRUE(c.contains(0x080));
+  EXPECT_TRUE(c.contains(0x0c0));
+}
+
+TEST(Cache, ContainsDoesNotFill) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.contains(0x300));
+  EXPECT_FALSE(c.contains(0x300));
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, ResetClears) {
+  Cache c(tiny_cache());
+  c.access(0x40);
+  c.reset();
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, Table2GeometriesConstruct) {
+  const MachineConfig cfg;
+  Cache l1(cfg.l1d);
+  Cache l2(cfg.l2);
+  EXPECT_EQ(l1.config().num_sets(), 128u);
+  EXPECT_EQ(l2.config().num_sets(), 2048u);
+}
+
+TEST(Hierarchy, LatenciesMatchTable2) {
+  const MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  // Cold: L1 miss + L2 miss -> memory latency.
+  EXPECT_EQ(mem.load_latency(0x1000, 0), cfg.memory_latency);
+  // Now resident in both: L1 hit.
+  EXPECT_EQ(mem.load_latency(0x1000, 10), cfg.l1d.hit_latency);
+  EXPECT_EQ(mem.stats().l1_hits, 1u);
+  EXPECT_EQ(mem.stats().l2_misses, 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  const MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  mem.load_latency(0x1000, 0);
+  // Evict 0x1000 from L1 by filling its set (128 sets * 64B = 8KB stride,
+  // 4 ways -> 5 distinct lines map to the same set).
+  for (int i = 1; i <= 4; ++i) {
+    mem.load_latency(0x1000 + i * 8192, 100 * i);
+  }
+  // L1 misses, L2 still holds it.
+  EXPECT_EQ(mem.load_latency(0x1000, 1000), cfg.l2.hit_latency);
+  EXPECT_GE(mem.stats().l2_hits, 1u);
+}
+
+TEST(Hierarchy, ReadPortContentionDelays) {
+  MachineConfig cfg;
+  cfg.l1_read_ports = 2;
+  MemoryHierarchy mem(cfg);
+  mem.warm(0x0);
+  mem.warm(0x40);
+  mem.warm(0x80);
+  // Three loads in the same cycle with 2 read ports: the third slips.
+  const auto l1 = mem.load_latency(0x0, 50);
+  const auto l2 = mem.load_latency(0x40, 50);
+  const auto l3 = mem.load_latency(0x80, 50);
+  EXPECT_EQ(l1, cfg.l1d.hit_latency);
+  EXPECT_EQ(l2, cfg.l1d.hit_latency);
+  EXPECT_EQ(l3, cfg.l1d.hit_latency + 1);
+  EXPECT_EQ(mem.stats().port_wait_cycles, 1u);
+}
+
+TEST(Hierarchy, WritePortSeparateFromReadPorts) {
+  MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  mem.warm(0x0);
+  mem.warm(0x40);
+  mem.warm(0x80);
+  // Two reads + one write in one cycle: all proceed (1 write port free).
+  EXPECT_EQ(mem.load_latency(0x0, 7), cfg.l1d.hit_latency);
+  EXPECT_EQ(mem.load_latency(0x40, 7), cfg.l1d.hit_latency);
+  EXPECT_EQ(mem.store_latency(0x80, 7), cfg.l1d.hit_latency);
+  // Second write in the same cycle slips.
+  EXPECT_EQ(mem.store_latency(0x80, 7), cfg.l1d.hit_latency + 1);
+}
+
+TEST(Hierarchy, PortsFreeUpNextCycle) {
+  MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  mem.warm(0x0);
+  mem.load_latency(0x0, 1);
+  mem.load_latency(0x0, 1);
+  mem.load_latency(0x0, 2);  // new cycle: no wait
+  EXPECT_EQ(mem.stats().port_wait_cycles, 0u);
+}
+
+TEST(Hierarchy, WarmInstallsWithoutStats) {
+  const MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  mem.warm(0x2000);
+  EXPECT_EQ(mem.stats().loads, 0u);
+  EXPECT_EQ(mem.load_latency(0x2000, 5), cfg.l1d.hit_latency);
+}
+
+TEST(Hierarchy, ResetRestoresColdState) {
+  const MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  mem.load_latency(0x3000, 0);
+  mem.reset();
+  EXPECT_EQ(mem.stats().loads, 0u);
+  EXPECT_EQ(mem.load_latency(0x3000, 0), cfg.memory_latency);
+}
+
+TEST(Hierarchy, StatsCountKinds) {
+  const MachineConfig cfg;
+  MemoryHierarchy mem(cfg);
+  mem.load_latency(0x0, 0);
+  mem.store_latency(0x40, 1);
+  mem.store_latency(0x40, 2);
+  EXPECT_EQ(mem.stats().loads, 1u);
+  EXPECT_EQ(mem.stats().stores, 2u);
+}
+
+}  // namespace
+}  // namespace vcsteer::mem

@@ -1,0 +1,138 @@
+// Tests for the static program representation and builder.
+#include <gtest/gtest.h>
+
+#include "program/program.hpp"
+
+namespace vcsteer::prog {
+namespace {
+
+using isa::ArchReg;
+using isa::OpClass;
+using isa::RegFile;
+
+ArchReg r(std::uint8_t i) { return {RegFile::kInt, i}; }
+ArchReg f(std::uint8_t i) { return {RegFile::kFp, i}; }
+
+Program two_block_program() {
+  ProgramBuilder b("two-block");
+  const BlockId b0 = b.begin_block();
+  b.add(OpClass::kIntAlu, r(1), {r(0)});
+  b.add(OpClass::kLoad, r(2), {r(1)});
+  b.add_void(OpClass::kBranch, {r(2)});
+  b.end_block({{1, 0.5}, {0, 0.5}});
+  const BlockId b1 = b.begin_block();
+  b.add(OpClass::kFpAdd, f(1), {f(0), f(1)});
+  b.add_void(OpClass::kBranch, {r(1)});
+  b.end_block({{b0, 1.0}});
+  b.set_entry(b0);
+  (void)b1;
+  return std::move(b).finish();
+}
+
+TEST(Builder, BuildsValidProgram) {
+  const Program p = two_block_program();
+  EXPECT_EQ(p.validate(), "");
+  EXPECT_EQ(p.num_blocks(), 2u);
+  EXPECT_EQ(p.num_uops(), 5u);
+  EXPECT_EQ(p.entry(), 0u);
+  EXPECT_EQ(p.name(), "two-block");
+}
+
+TEST(Builder, BlocksAreContiguous) {
+  const Program p = two_block_program();
+  EXPECT_EQ(p.block(0).first_uop, 0u);
+  EXPECT_EQ(p.block(0).num_uops, 3u);
+  EXPECT_EQ(p.block(1).first_uop, 3u);
+  EXPECT_EQ(p.block(1).uop_at(1), 4u);
+  EXPECT_TRUE(p.block(1).contains(4));
+  EXPECT_FALSE(p.block(1).contains(2));
+}
+
+TEST(Builder, BlockOfMapsEveryUop) {
+  const Program p = two_block_program();
+  EXPECT_EQ(p.block_of(0), 0u);
+  EXPECT_EQ(p.block_of(2), 0u);
+  EXPECT_EQ(p.block_of(3), 1u);
+  EXPECT_EQ(p.block_of(4), 1u);
+}
+
+TEST(Builder, OperandsRecorded) {
+  const Program p = two_block_program();
+  const isa::MicroOp& alu = p.uop(0);
+  EXPECT_EQ(alu.op, OpClass::kIntAlu);
+  EXPECT_TRUE(alu.has_dst);
+  EXPECT_EQ(alu.dst.index, 1);
+  EXPECT_EQ(alu.num_srcs, 1);
+  const isa::MicroOp& br = p.uop(2);
+  EXPECT_FALSE(br.has_dst);
+  EXPECT_EQ(br.num_srcs, 1);
+}
+
+TEST(Builder, ClearHintsResetsAll) {
+  Program p = two_block_program();
+  p.mutable_uop(0).hint.vc_id = 1;
+  p.mutable_uop(1).hint.static_cluster = 1;
+  p.mutable_uop(2).hint.chain_leader = true;
+  p.clear_hints();
+  for (UopId u = 0; u < p.num_uops(); ++u) {
+    EXPECT_FALSE(p.uop(u).hint.has_vc());
+    EXPECT_FALSE(p.uop(u).hint.has_static_cluster());
+    EXPECT_FALSE(p.uop(u).hint.chain_leader);
+  }
+}
+
+TEST(Builder, ProbabilitiesMustSumToOne) {
+  ProgramBuilder b("bad-probs");
+  b.begin_block();
+  b.add(OpClass::kNop, ArchReg{}, {});
+  b.end_block({{0, 0.5}, {0, 0.2}});
+  EXPECT_DEATH(std::move(b).finish(), "sum to 1");
+}
+
+TEST(Builder, EdgeTargetOutOfRangeRejected) {
+  ProgramBuilder b("bad-target");
+  b.begin_block();
+  b.add(OpClass::kNop, ArchReg{}, {});
+  b.end_block({{7, 1.0}});
+  EXPECT_DEATH(std::move(b).finish(), "out of range");
+}
+
+TEST(Builder, EmptyBlockRejected) {
+  ProgramBuilder b("empty-block");
+  b.begin_block();
+  EXPECT_DEATH(b.end_block({}), "non-empty");
+}
+
+TEST(Builder, AddOutsideBlockRejected) {
+  ProgramBuilder b("no-block");
+  EXPECT_DEATH(b.add(isa::MicroOp{}), "outside");
+}
+
+TEST(Builder, NestedBeginRejected) {
+  ProgramBuilder b("nested");
+  b.begin_block();
+  EXPECT_DEATH(b.begin_block(), "not ended");
+}
+
+TEST(Builder, StaticCopyRejected) {
+  ProgramBuilder b("has-copy");
+  b.begin_block();
+  isa::MicroOp cp;
+  cp.op = OpClass::kCopy;
+  b.add(cp);
+  b.end_block({{0, 1.0}});
+  EXPECT_DEATH(std::move(b).finish(), "copy");
+}
+
+TEST(Builder, ExitBlockAllowed) {
+  ProgramBuilder b("exit");
+  b.begin_block();
+  b.add(OpClass::kIntAlu, r(1), {r(0)});
+  b.end_block({});  // no successors: program exit
+  Program p = std::move(b).finish();
+  EXPECT_EQ(p.validate(), "");
+  EXPECT_TRUE(p.block(0).succs.empty());
+}
+
+}  // namespace
+}  // namespace vcsteer::prog

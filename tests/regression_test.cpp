@@ -1,0 +1,98 @@
+// Regression guard: the headline shapes of the reproduction, asserted with
+// generous margins so legitimate model changes don't trip them, but tight
+// enough that a broken scheme (or broken determinism) fails loudly. Uses
+// the full 40-trace suite at the smoke budget.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer {
+namespace {
+
+struct SuiteAverages {
+  double one_cluster = 0.0;
+  double ob = 0.0;
+  double rhop = 0.0;
+  double vc = 0.0;
+};
+
+/// Average slowdowns vs OP over the full 40-trace suite, computed once.
+const SuiteAverages& suite_averages() {
+  static const SuiteAverages averages = [] {
+    const MachineConfig machine = MachineConfig::two_cluster();
+    const harness::SimBudget budget = harness::SimBudget::smoke();
+    const std::vector<harness::SchemeSpec> specs = {
+        {steer::Scheme::kOp, 0},
+        {steer::Scheme::kOneCluster, 0},
+        {steer::Scheme::kOb, 0},
+        {steer::Scheme::kRhop, 0},
+        {steer::Scheme::kVc, 2},
+    };
+    std::vector<double> slows[4];
+    for (const auto& profile : workload::all_profiles()) {
+      harness::TraceExperiment experiment(profile, machine, budget);
+      const double base = experiment.run(specs[0]).ipc;
+      for (int s = 1; s <= 4; ++s) {
+        slows[s - 1].push_back(
+            stats::slowdown_pct(base, experiment.run(specs[s]).ipc));
+      }
+    }
+    SuiteAverages out;
+    out.one_cluster = stats::mean(slows[0]);
+    out.ob = stats::mean(slows[1]);
+    out.rhop = stats::mean(slows[2]);
+    out.vc = stats::mean(slows[3]);
+    return out;
+  }();
+  return averages;
+}
+
+TEST(Regression, OneClusterClearlyWorst) {
+  const SuiteAverages& avg = suite_averages();
+  EXPECT_GT(avg.one_cluster, 8.0);   // paper: 12.19
+  EXPECT_LT(avg.one_cluster, 30.0);  // but not absurd
+  EXPECT_GT(avg.one_cluster, avg.ob);
+  EXPECT_GT(avg.one_cluster, avg.rhop);
+  EXPECT_GT(avg.one_cluster, avg.vc);
+}
+
+TEST(Regression, SoftwareOnlySchemesPayMeasurably) {
+  const SuiteAverages& avg = suite_averages();
+  EXPECT_GT(avg.ob, 2.0);  // paper: 6.50
+  EXPECT_LT(avg.ob, 15.0);
+  EXPECT_GT(avg.rhop, -1.0);  // paper: 5.40 (see EXPERIMENTS.md D1)
+  EXPECT_LT(avg.rhop, 12.0);
+}
+
+TEST(Regression, HybridStaysWithinReachOfHardwareOnly) {
+  const SuiteAverages& avg = suite_averages();
+  // Paper: 2.62% average slowdown; we accept anything inside [-1.5, 4].
+  EXPECT_GT(avg.vc, -1.5);
+  EXPECT_LT(avg.vc, 4.0);
+  // And the headline ordering: hybrid beats both software-only schemes.
+  EXPECT_LT(avg.vc, avg.ob);
+  EXPECT_LT(avg.vc, avg.rhop + 1.0);
+}
+
+TEST(Regression, FourClusterCopyExcessOfFineVcPartitions) {
+  // §5.4: VC(4->4) generates ~28% more copies than VC(2->4).
+  const MachineConfig machine = MachineConfig::four_cluster();
+  const harness::SimBudget budget = harness::SimBudget::smoke();
+  double copies44 = 0.0, copies24 = 0.0;
+  for (const auto& profile : workload::all_profiles()) {
+    harness::TraceExperiment experiment(profile, machine, budget);
+    copies44 += experiment.run({steer::Scheme::kVc, 4}).copies_per_kuop;
+    copies24 += experiment.run({steer::Scheme::kVc, 2}).copies_per_kuop;
+  }
+  ASSERT_GT(copies24, 0.0);
+  const double excess = (copies44 / copies24 - 1.0) * 100.0;
+  EXPECT_GT(excess, 10.0);  // paper: +28%, measured ~+29%
+  EXPECT_LT(excess, 60.0);
+}
+
+}  // namespace
+}  // namespace vcsteer

@@ -1,0 +1,338 @@
+// Tests for the steering policies against a mock SteerView: OP preference /
+// tie-break / stall-over-steer, the VC mapping table and chain-leader
+// remapping, the static follower and the factory.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "steer/mod_policy.hpp"
+#include "steer/op_policy.hpp"
+#include "steer/policy.hpp"
+#include "steer/simple_policies.hpp"
+#include "steer/vc_policy.hpp"
+
+namespace vcsteer::steer {
+namespace {
+
+using isa::ArchReg;
+using isa::MicroOp;
+using isa::OpClass;
+using isa::RegFile;
+
+ArchReg r(std::uint8_t i) { return {RegFile::kInt, i}; }
+
+MicroOp alu(std::initializer_list<ArchReg> srcs, ArchReg dst = r(15)) {
+  MicroOp u;
+  u.op = OpClass::kIntAlu;
+  u.has_dst = true;
+  u.dst = dst;
+  for (ArchReg s : srcs) u.srcs[u.num_srcs++] = s;
+  return u;
+}
+
+/// Scriptable machine-state view.
+class MockView : public SteerView {
+ public:
+  explicit MockView(std::uint32_t clusters) : clusters_(clusters) {
+    homes_.fill(kNoHome);
+    stale_homes_.fill(kNoHome);
+    inflight_.fill(0);
+    occupancy_.fill(0);
+  }
+
+  std::uint32_t num_clusters() const override { return clusters_; }
+  std::uint32_t iq_occupancy(std::uint32_t c, isa::OpClass) const override {
+    return occupancy_[c];
+  }
+  std::uint32_t iq_capacity(isa::OpClass) const override { return 48; }
+  std::uint32_t inflight(std::uint32_t c) const override { return inflight_[c]; }
+  int value_home(ArchReg reg) const override {
+    return homes_[isa::flat_reg(reg)];
+  }
+  int value_home_stale(ArchReg reg) const override {
+    return stale_homes_[isa::flat_reg(reg)];
+  }
+  bool value_in_cluster(ArchReg reg, std::uint32_t c) const override {
+    const int home = homes_[isa::flat_reg(reg)];
+    return home == kNoHome || home == static_cast<int>(c) ||
+           (replicas_[isa::flat_reg(reg)] & (1u << c));
+  }
+  bool value_in_flight(ArchReg reg) const override {
+    return inflight_regs_[isa::flat_reg(reg)];
+  }
+
+  void set_home(ArchReg reg, int cluster, bool in_flight = false) {
+    homes_[isa::flat_reg(reg)] = cluster;
+    stale_homes_[isa::flat_reg(reg)] = cluster;
+    inflight_regs_[isa::flat_reg(reg)] = in_flight;
+  }
+  void set_stale_home(ArchReg reg, int cluster) {
+    stale_homes_[isa::flat_reg(reg)] = cluster;
+  }
+  void add_replica(ArchReg reg, std::uint32_t cluster) {
+    replicas_[isa::flat_reg(reg)] |= 1u << cluster;
+  }
+  void set_inflight(std::uint32_t c, std::uint32_t n) { inflight_[c] = n; }
+  void set_occupancy(std::uint32_t c, std::uint32_t n) { occupancy_[c] = n; }
+
+ private:
+  std::uint32_t clusters_;
+  std::array<int, isa::kNumFlatRegs> homes_{};
+  std::array<int, isa::kNumFlatRegs> stale_homes_{};
+  std::array<bool, isa::kNumFlatRegs> inflight_regs_{};
+  std::array<std::uint32_t, isa::kNumFlatRegs> replicas_{};
+  std::array<std::uint32_t, 8> inflight_{};
+  std::array<std::uint32_t, 8> occupancy_{};
+};
+
+MachineConfig two_clusters() { return MachineConfig::two_cluster(); }
+
+TEST(OpPolicy, FollowsSingleSourceHome) {
+  MockView view(2);
+  view.set_home(r(1), 1);
+  OpPolicy policy(two_clusters());
+  const auto d = policy.choose(alu({r(1)}), view);
+  EXPECT_EQ(d.cluster, 1);
+}
+
+TEST(OpPolicy, MajorityOfSourcesWins) {
+  MockView view(2);
+  view.set_home(r(1), 0);
+  view.set_home(r(2), 0);
+  view.set_inflight(1, 0);
+  view.set_inflight(0, 40);  // heavily loaded, but both sources live there
+  OpPolicy policy(two_clusters());
+  EXPECT_EQ(policy.choose(alu({r(1), r(2)}), view).cluster, 0);
+}
+
+TEST(OpPolicy, TieBrokenByLoad) {
+  MockView view(2);
+  view.set_home(r(1), 0);
+  view.set_home(r(2), 1);
+  view.set_inflight(0, 10);
+  view.set_inflight(1, 2);
+  OpPolicy policy(two_clusters());
+  EXPECT_EQ(policy.choose(alu({r(1), r(2)}), view).cluster, 1);
+}
+
+TEST(OpPolicy, InFlightSourceOutweighsReadyOne) {
+  MockView view(2);
+  view.set_home(r(1), 0, /*in_flight=*/true);   // copy would be on the
+  view.set_home(r(2), 1, /*in_flight=*/false);  // critical path
+  view.set_inflight(0, 10);
+  view.set_inflight(1, 0);  // load would favour 1, dependence wins
+  OpPolicy policy(two_clusters());
+  EXPECT_EQ(policy.choose(alu({r(1), r(2)}), view).cluster, 0);
+}
+
+TEST(OpPolicy, ReplicaCountsAsPresence) {
+  MockView view(2);
+  view.set_home(r(1), 0);
+  view.set_home(r(2), 1);
+  view.add_replica(r(1), 1);  // r1 already copied to cluster 1
+  view.set_inflight(0, 0);
+  view.set_inflight(1, 0);
+  OpPolicy policy(two_clusters());
+  // Cluster 1 holds both values (r2 home + r1 replica): 2 votes vs 1.
+  EXPECT_EQ(policy.choose(alu({r(1), r(2)}), view).cluster, 1);
+}
+
+TEST(OpPolicy, NoSourcesGoesLeastLoaded) {
+  MockView view(2);
+  view.set_inflight(0, 9);
+  view.set_inflight(1, 3);
+  OpPolicy policy(two_clusters());
+  EXPECT_EQ(policy.choose(alu({}), view).cluster, 1);
+}
+
+TEST(OpPolicy, StallsWhenPreferredFullAndOthersBusy) {
+  MachineConfig cfg = two_clusters();
+  cfg.op_occupancy_threshold = 0.75;
+  MockView view(2);
+  view.set_home(r(1), 0);
+  view.set_occupancy(0, 48);  // preferred full
+  view.set_occupancy(1, 40);  // above 0.75 * 48 = 36: busy
+  OpPolicy policy(cfg);
+  EXPECT_TRUE(policy.choose(alu({r(1)}), view).is_stall());
+}
+
+TEST(OpPolicy, DivertsWhenAnotherClusterIsIdle) {
+  MockView view(2);
+  view.set_home(r(1), 0);
+  view.set_occupancy(0, 48);
+  view.set_occupancy(1, 5);  // clearly idle: steer-over-stall
+  OpPolicy policy(two_clusters());
+  EXPECT_EQ(policy.choose(alu({r(1)}), view).cluster, 1);
+}
+
+TEST(ParallelOpPolicy, UsesStaleRenameView) {
+  MockView view(2);
+  view.set_home(r(1), 1);
+  view.set_stale_home(r(1), 0);  // cycle-start state says cluster 0
+  ParallelOpPolicy par(two_clusters());
+  OpPolicy seq(two_clusters());
+  EXPECT_EQ(par.choose(alu({r(1)}), view).cluster, 0);
+  EXPECT_EQ(seq.choose(alu({r(1)}), view).cluster, 1);
+}
+
+TEST(OneCluster, AlwaysZero) {
+  MockView view(4);
+  view.set_inflight(0, 1000);
+  OneClusterPolicy policy;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(policy.choose(alu({r(1)}), view).cluster, 0);
+  }
+}
+
+TEST(StaticFollower, FollowsHintAndClampsToMachine) {
+  MockView view(2);
+  StaticFollowerPolicy policy("OB");
+  MicroOp u = alu({r(1)});
+  u.hint.static_cluster = 1;
+  EXPECT_EQ(policy.choose(u, view).cluster, 1);
+  u.hint.static_cluster = 3;  // annotated for a 4-cluster machine
+  EXPECT_EQ(policy.choose(u, view).cluster, 1);  // 3 % 2
+  MicroOp unhinted = alu({r(1)});
+  EXPECT_EQ(policy.choose(unhinted, view).cluster, 0);
+  EXPECT_EQ(policy.name(), "OB");
+}
+
+TEST(VcPolicy, LeaderRemapsToLeastLoaded) {
+  MockView view(2);
+  view.set_inflight(0, 8);
+  view.set_inflight(1, 2);
+  VcPolicy policy(two_clusters(), 2);
+  MicroOp leader = alu({r(1)});
+  leader.hint.vc_id = 0;
+  leader.hint.chain_leader = true;
+  const auto d = policy.choose(leader, view);
+  EXPECT_EQ(d.cluster, 1);
+  policy.on_dispatched(leader, 1);
+  EXPECT_EQ(policy.mapping(0), 1);
+  EXPECT_EQ(policy.remaps(), 1u);
+}
+
+TEST(VcPolicy, NonLeaderFollowsTable) {
+  MockView view(2);
+  view.set_inflight(0, 0);
+  view.set_inflight(1, 50);
+  VcPolicy policy(two_clusters(), 2);
+  MicroOp leader = alu({r(1)});
+  leader.hint.vc_id = 1;
+  leader.hint.chain_leader = true;
+  policy.on_dispatched(leader, 1);
+  // Follower of VC 1 goes to cluster 1 despite the load imbalance.
+  MicroOp follower = alu({r(2)});
+  follower.hint.vc_id = 1;
+  EXPECT_EQ(policy.choose(follower, view).cluster, 1);
+}
+
+TEST(VcPolicy, UnmappedVcMapsOnFirstUse) {
+  MockView view(2);
+  view.set_inflight(0, 5);
+  view.set_inflight(1, 1);
+  VcPolicy policy(two_clusters(), 2);
+  MicroOp follower = alu({r(1)});
+  follower.hint.vc_id = 0;  // not a leader, but table is empty
+  EXPECT_EQ(policy.choose(follower, view).cluster, 1);
+  policy.on_dispatched(follower, 1);
+  EXPECT_EQ(policy.mapping(0), 1);
+}
+
+TEST(VcPolicy, NoHintFallsBackToLeastLoaded) {
+  MockView view(4);
+  view.set_inflight(2, 0);
+  view.set_inflight(0, 3);
+  view.set_inflight(1, 3);
+  view.set_inflight(3, 3);
+  VcPolicy policy(MachineConfig::four_cluster(), 4);
+  EXPECT_EQ(policy.choose(alu({r(1)}), view).cluster, 2);
+}
+
+TEST(VcPolicy, MoreVcsThanTableWraps) {
+  MockView view(2);
+  VcPolicy policy(two_clusters(), 2);
+  MicroOp u = alu({r(1)});
+  u.hint.vc_id = 5;  // annotated with more VCs than the hardware table
+  u.hint.chain_leader = true;
+  const auto d = policy.choose(u, view);
+  EXPECT_GE(d.cluster, 0);
+  policy.on_dispatched(u, static_cast<std::uint32_t>(d.cluster));
+  EXPECT_EQ(policy.mapping(5 % 2), d.cluster);
+}
+
+TEST(VcPolicy, ResetClearsTable) {
+  MockView view(2);
+  VcPolicy policy(two_clusters(), 2);
+  MicroOp leader = alu({r(1)});
+  leader.hint.vc_id = 0;
+  leader.hint.chain_leader = true;
+  policy.on_dispatched(leader, 1);
+  policy.reset();
+  EXPECT_EQ(policy.mapping(0), kNoHome);
+  EXPECT_EQ(policy.remaps(), 0u);
+}
+
+TEST(ModN, SwitchesEveryNDispatches) {
+  MockView view(4);
+  ModNPolicy policy(3);
+  const MicroOp u = alu({r(1)});
+  std::vector<int> sequence;
+  for (int i = 0; i < 12; ++i) {
+    const auto d = policy.choose(u, view);
+    sequence.push_back(d.cluster);
+    policy.on_dispatched(u, static_cast<std::uint32_t>(d.cluster));
+  }
+  // Slices of 3 micro-ops per cluster, wrapping around 4 clusters.
+  const std::vector<int> expected = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3};
+  EXPECT_EQ(sequence, expected);
+}
+
+TEST(ModN, OnlyAdvancesOnDispatch) {
+  MockView view(2);
+  ModNPolicy policy(1);
+  const MicroOp u = alu({r(1)});
+  // choose() without dispatch must not advance (a stalled micro-op retries
+  // the same slice).
+  EXPECT_EQ(policy.choose(u, view).cluster, 0);
+  EXPECT_EQ(policy.choose(u, view).cluster, 0);
+  policy.on_dispatched(u, 0);
+  EXPECT_EQ(policy.choose(u, view).cluster, 1);
+}
+
+TEST(ModN, ResetAndDegenerateN) {
+  MockView view(2);
+  ModNPolicy policy(0);  // clamps to 1
+  EXPECT_EQ(policy.name(), "MOD1");
+  const MicroOp u = alu({r(1)});
+  policy.on_dispatched(u, 0);
+  EXPECT_EQ(policy.choose(u, view).cluster, 1);
+  policy.reset();
+  EXPECT_EQ(policy.choose(u, view).cluster, 0);
+}
+
+TEST(Factory, SchemeNamesAndPasses) {
+  EXPECT_STREQ(scheme_name(Scheme::kOp), "OP");
+  EXPECT_STREQ(scheme_name(Scheme::kOneCluster), "one-cluster");
+  EXPECT_STREQ(scheme_name(Scheme::kVc), "VC");
+  EXPECT_TRUE(needs_software_pass(Scheme::kOb));
+  EXPECT_TRUE(needs_software_pass(Scheme::kRhop));
+  EXPECT_TRUE(needs_software_pass(Scheme::kVc));
+  EXPECT_FALSE(needs_software_pass(Scheme::kOp));
+  EXPECT_FALSE(needs_software_pass(Scheme::kOneCluster));
+  EXPECT_FALSE(needs_software_pass(Scheme::kParallelOp));
+}
+
+TEST(Factory, InstantiatesEveryScheme) {
+  const MachineConfig cfg = two_clusters();
+  for (const Scheme s :
+       {Scheme::kOp, Scheme::kOneCluster, Scheme::kOb, Scheme::kRhop,
+        Scheme::kVc, Scheme::kParallelOp}) {
+    const auto policy = make_policy(s, cfg);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace vcsteer::steer
