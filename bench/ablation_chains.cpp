@@ -5,57 +5,56 @@
 // remaps, worst balance). DESIGN.md calls this knob out as the key design
 // choice of the software side.
 //
-// Usage: ablation_chains [--quick]
-#include <cstring>
-#include <iostream>
+// Usage: ablation_chains [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
 int main(int argc, char** argv) {
   using namespace vcsteer;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const bench::Options opt = bench::parse_args(argc, argv, "ablation_chains");
+
+  const std::vector<std::uint32_t> min_chains = {1, 2, 3, 6, 12, 48};
+
+  exec::SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {harness::SchemeSpec{steer::Scheme::kOp, 0}};
+  for (const std::uint32_t min_chain : min_chains) {
+    harness::SchemeSpec spec{steer::Scheme::kVc, 2};
+    spec.vc_min_leader_chain = min_chain;
+    grid.schemes.push_back(spec);
   }
-  const MachineConfig machine = MachineConfig::two_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table table(
       "VC chain-granularity sweep (2 clusters, 2 VCs): min chain size for a "
       "leader mark");
   table.set_columns({"min chain", "avg slowdown vs OP (%)", "copies/kuop",
                      "alloc stalls/kuop"});
-
-  // Per-trace OP baselines.
-  std::vector<double> base_ipc;
-  for (const auto& profile : workload::smoke_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    base_ipc.push_back(experiment.run({steer::Scheme::kOp, 0}).ipc);
-  }
-
-  for (const std::uint32_t min_chain : {1u, 2u, 3u, 6u, 12u, 48u}) {
+  const auto n = static_cast<double>(grid.profiles.size());
+  for (std::size_t k = 0; k < min_chains.size(); ++k) {
     double slow = 0, copies = 0, alloc = 0;
-    std::size_t t = 0;
-    for (const auto& profile : workload::smoke_profiles()) {
-      harness::TraceExperiment experiment(profile, machine, budget);
-      harness::SchemeSpec spec{steer::Scheme::kVc, 2};
-      spec.vc_min_leader_chain = min_chain;
-      const harness::RunResult r = experiment.run(spec);
-      slow += stats::slowdown_pct(base_ipc[t], r.ipc);
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      const harness::RunResult& r = sweep.at(t, k + 1);
+      slow += stats::slowdown_pct(sweep.at(t, 0).ipc, r.ipc);
       copies += r.copies_per_kuop;
       alloc += r.alloc_stalls_per_kuop;
-      ++t;
     }
-    const auto n = static_cast<double>(t);
     table.row()
-        .add(std::uint64_t{min_chain})
+        .add(std::uint64_t{min_chains[k]})
         .add(slow / n, 2)
         .add(copies / n, 1)
         .add(alloc / n, 1);
   }
-  table.print(std::cout);
-  return 0;
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(table);
+  return out.finish();
 }

@@ -4,60 +4,59 @@
 // schemes degrade faster, stall-over-steer (OP) and chain locality (VC)
 // degrade slowest.
 //
-// Usage: ablation_interconnect [--quick]
-#include <cstring>
-#include <iostream>
+// Usage: ablation_interconnect [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
 int main(int argc, char** argv) {
   using namespace vcsteer;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const bench::Options opt =
+      bench::parse_args(argc, argv, "ablation_interconnect");
+
+  const std::vector<std::uint32_t> link_latencies = {1, 2, 4, 8};
+
+  // One machine per link latency: the (trace x machine x scheme) grid covers
+  // the whole sweep in one deterministic pass.
+  exec::SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  for (const std::uint32_t link : link_latencies) {
+    MachineConfig machine = MachineConfig::two_cluster();
+    machine.link_latency = link;
+    grid.machines.push_back(machine);
   }
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kOb, 0},
+      harness::SchemeSpec{steer::Scheme::kRhop, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 2},
+  };
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table table(
       "Link-latency sweep, 2 clusters: avg slowdown vs OP@1cycle (%)");
   table.set_columns({"link cycles", "OP", "OB", "RHOP", "VC"});
-
-  const std::vector<harness::SchemeSpec> specs = {
-      {steer::Scheme::kOp, 0},
-      {steer::Scheme::kOb, 0},
-      {steer::Scheme::kRhop, 0},
-      {steer::Scheme::kVc, 2},
-  };
-
-  // Baseline IPCs at link latency 1 (OP), per trace.
-  std::vector<double> base_ipc;
-  {
-    const MachineConfig machine = MachineConfig::two_cluster();
-    for (const auto& profile : workload::smoke_profiles()) {
-      harness::TraceExperiment experiment(profile, machine, budget);
-      base_ipc.push_back(experiment.run(specs[0]).ipc);
-    }
-  }
-
-  for (const std::uint32_t link : {1u, 2u, 4u, 8u}) {
-    MachineConfig machine = MachineConfig::two_cluster();
-    machine.link_latency = link;
-    double sums[4] = {};
-    std::size_t t = 0;
-    for (const auto& profile : workload::smoke_profiles()) {
-      harness::TraceExperiment experiment(profile, machine, budget);
-      for (std::size_t s = 0; s < specs.size(); ++s) {
-        const harness::RunResult r = experiment.run(specs[s]);
-        sums[s] += stats::slowdown_pct(base_ipc[t], r.ipc);
+  const auto n = static_cast<double>(grid.profiles.size());
+  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+    table.row().add(std::uint64_t{link_latencies[m]});
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      double sum = 0;
+      for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+        // Baseline: OP on the 1-cycle-link machine (machine index 0).
+        sum += stats::slowdown_pct(sweep.at(t, 0, 0).ipc,
+                                   sweep.at(t, m, s).ipc);
       }
-      ++t;
+      table.add(sum / n, 2);
     }
-    table.row().add(std::uint64_t{link});
-    for (double sum : sums) table.add(sum / static_cast<double>(t), 2);
   }
-  table.print(std::cout);
-  return 0;
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(table);
+  return out.finish();
 }

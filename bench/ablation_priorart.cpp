@@ -4,98 +4,59 @@
 // one-cluster (no distribution) and the dependence-based OP on the
 // 2-cluster machine, with the hybrid VC for reference.
 //
-// Usage: ablation_priorart [--quick]
-#include <cstring>
-#include <iostream>
+// The MOD-N policies are not SchemeSpecs; they ride the sweep as custom
+// policy factories (exec::SweepScheme with a tag), which is the same path
+// user-defined policies from examples/custom_policy take.
+//
+// Usage: ablation_priorart [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
 #include <memory>
 
-#include "harness/experiment.hpp"
-#include "sim/core.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "steer/mod_policy.hpp"
-#include "workload/pinpoints.hpp"
 #include "workload/profiles.hpp"
-#include "workload/trace.hpp"
-
-namespace {
-
-using namespace vcsteer;
-
-/// Weighted run of a hand-constructed policy over a trace's simpoints
-/// (the harness path used for built-in schemes, open-coded for MOD-N).
-double run_custom(const workload::WorkloadProfile& profile,
-                  const MachineConfig& machine,
-                  const harness::SimBudget& budget,
-                  steer::SteeringPolicy& policy, double* copies_per_kuop) {
-  workload::GeneratedWorkload wl = workload::generate(profile);
-  workload::TraceSource trace(wl);
-  workload::PinPointsOptions popt;
-  popt.total_uops = budget.total_uops;
-  popt.interval_uops = budget.interval_uops;
-  popt.max_phases = budget.max_phases;
-  const auto points = workload::select_pinpoints(
-      trace, wl.program.num_blocks(), popt, profile.seed(3));
-  sim::ClusteredCore core(machine, wl.program);
-  double w_cycles = 0, w_uops = 0, w_copies = 0;
-  for (const auto& point : points) {
-    trace.reset();
-    std::vector<std::uint64_t> warm;
-    for (std::uint64_t u = 0; u < point.start_uop; ++u) {
-      const workload::TraceEntry e = trace.next();
-      if (wl.program.uop(e.uop).is_mem()) warm.push_back(e.addr);
-    }
-    const auto interval = trace.take(point.length);
-    const sim::SimStats stats = core.run(interval, policy, warm);
-    w_cycles += point.weight * static_cast<double>(stats.cycles);
-    w_uops += point.weight * static_cast<double>(stats.committed_uops);
-    w_copies += point.weight * static_cast<double>(stats.copies_generated);
-  }
-  if (copies_per_kuop != nullptr) {
-    *copies_per_kuop = 1000.0 * w_copies / w_uops;
-  }
-  return w_uops / w_cycles;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  using namespace vcsteer;
+  const bench::Options opt = bench::parse_args(argc, argv, "ablation_priorart");
+
+  exec::SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kOneCluster, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 2},
+  };
+  for (const std::uint32_t n : {1u, 3u, 8u}) {
+    grid.schemes.emplace_back(
+        "MOD" + std::to_string(n), [n](const MachineConfig&) {
+          return std::make_unique<steer::ModNPolicy>(n);
+        });
   }
-  const MachineConfig machine = MachineConfig::two_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table table(
       "Prior-art hardware heuristics, 2 clusters: slowdown vs OP (%)");
   table.set_columns({"trace", "one-cluster", "MOD1", "MOD3", "MOD8", "VC",
                      "MOD3 copies/kuop"});
-
-  for (const auto& profile : workload::smoke_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    const double op_ipc = experiment.run({steer::Scheme::kOp, 0}).ipc;
-    const double one =
-        experiment.run({steer::Scheme::kOneCluster, 0}).ipc;
-    const double vc = experiment.run({steer::Scheme::kVc, 2}).ipc;
-
-    double mod_ipc[3];
-    double mod3_copies = 0;
-    const std::uint32_t mod_n[3] = {1, 3, 8};
-    for (int k = 0; k < 3; ++k) {
-      steer::ModNPolicy policy(mod_n[k]);
-      mod_ipc[k] = run_custom(profile, machine, budget, policy,
-                              mod_n[k] == 3 ? &mod3_copies : nullptr);
-    }
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    const double op_ipc = sweep.at(t, 0).ipc;
     table.row()
-        .add(profile.name)
-        .add(stats::slowdown_pct(op_ipc, one), 2)
-        .add(stats::slowdown_pct(op_ipc, mod_ipc[0]), 2)
-        .add(stats::slowdown_pct(op_ipc, mod_ipc[1]), 2)
-        .add(stats::slowdown_pct(op_ipc, mod_ipc[2]), 2)
-        .add(stats::slowdown_pct(op_ipc, vc), 2)
-        .add(mod3_copies, 1);
+        .add(grid.profiles[t].name)
+        .add(stats::slowdown_pct(op_ipc, sweep.at(t, 1).ipc), 2)
+        .add(stats::slowdown_pct(op_ipc, sweep.at(t, 3).ipc), 2)
+        .add(stats::slowdown_pct(op_ipc, sweep.at(t, 4).ipc), 2)
+        .add(stats::slowdown_pct(op_ipc, sweep.at(t, 5).ipc), 2)
+        .add(stats::slowdown_pct(op_ipc, sweep.at(t, 2).ipc), 2)
+        .add(sweep.at(t, 4).copies_per_kuop, 1);
   }
-  table.print(std::cout);
-  return 0;
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(table);
+  return out.finish();
 }

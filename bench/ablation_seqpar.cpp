@@ -6,43 +6,46 @@
 // implement at cycle time — this ablation quantifies the performance gap
 // the hybrid scheme closes without the serialization.
 //
-// Usage: ablation_seqpar [--quick]
-#include <cstring>
-#include <iostream>
+// Usage: ablation_seqpar [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
 int main(int argc, char** argv) {
   using namespace vcsteer;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
-  const MachineConfig machine = MachineConfig::two_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  const bench::Options opt = bench::parse_args(argc, argv, "ablation_seqpar");
+
+  exec::SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kParallelOp, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 2},
+  };
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table table(
       "Sequential vs parallel dependence-based steering (2 clusters)");
   table.set_columns({"trace", "seq IPC", "par IPC", "par slowdown (%)",
                      "seq copies/kuop", "par copies/kuop",
                      "VC slowdown vs seq (%)"});
-
   std::vector<double> slowdowns, vc_slowdowns;
-  for (const auto& profile : workload::smoke_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    const harness::RunResult seq = experiment.run({steer::Scheme::kOp, 0});
-    const harness::RunResult par =
-        experiment.run({steer::Scheme::kParallelOp, 0});
-    const harness::RunResult vc = experiment.run({steer::Scheme::kVc, 2});
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    const harness::RunResult& seq = sweep.at(t, 0);
+    const harness::RunResult& par = sweep.at(t, 1);
+    const harness::RunResult& vc = sweep.at(t, 2);
     const double slow = stats::slowdown_pct(seq.ipc, par.ipc);
     const double vc_slow = stats::slowdown_pct(seq.ipc, vc.ipc);
     slowdowns.push_back(slow);
     vc_slowdowns.push_back(vc_slow);
     table.row()
-        .add(profile.name)
+        .add(grid.profiles[t].name)
         .add(seq.ipc, 3)
         .add(par.ipc, 3)
         .add(slow, 2)
@@ -50,12 +53,17 @@ int main(int argc, char** argv) {
         .add(par.copies_per_kuop, 1)
         .add(vc_slow, 2);
   }
-  table.print(std::cout);
-  std::cout << "\nAVG parallel-vs-sequential slowdown: "
-            << stats::mean(slowdowns)
-            << "%  |  AVG VC-vs-sequential slowdown: "
-            << stats::mean(vc_slowdowns)
-            << "%\n(VC achieves sequential-class steering without the "
-               "serialized per-bundle decision.)\n";
-  return 0;
+
+  stats::Table avg_table(
+      "Averages: VC achieves sequential-class steering without the "
+      "serialized per-bundle decision");
+  avg_table.set_columns(
+      {"parallel vs sequential slowdown (%)", "VC vs sequential slowdown (%)"});
+  avg_table.row().add(stats::mean(slowdowns), 2).add(stats::mean(vc_slowdowns), 2);
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(table);
+  out.add(avg_table);
+  return out.finish();
 }

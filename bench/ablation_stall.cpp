@@ -6,50 +6,56 @@
 // free) and reproduces the papers' observation that some stalling beats
 // blind steering.
 //
-// Usage: ablation_stall [--quick]
-#include <cstring>
-#include <iostream>
+// Usage: ablation_stall [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
 int main(int argc, char** argv) {
   using namespace vcsteer;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const bench::Options opt = bench::parse_args(argc, argv, "ablation_stall");
+
+  const std::vector<double> thresholds = {0.05, 0.25, 0.50, 0.75, 1.00};
+
+  exec::SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  for (const double threshold : thresholds) {
+    MachineConfig machine = MachineConfig::two_cluster();
+    machine.op_occupancy_threshold = threshold;
+    grid.machines.push_back(machine);
   }
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  grid.schemes = {harness::SchemeSpec{steer::Scheme::kOp, 0}};
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table table(
       "OP stall-over-steer threshold sweep (2 clusters): avg IPC and stalls");
   table.set_columns({"threshold", "avg IPC", "policy stalls/kuop",
                      "alloc stalls/kuop", "copies/kuop"});
-
-  for (const double threshold : {0.05, 0.25, 0.50, 0.75, 1.00}) {
-    MachineConfig machine = MachineConfig::two_cluster();
-    machine.op_occupancy_threshold = threshold;
+  const auto n = static_cast<double>(grid.profiles.size());
+  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
     double ipc = 0, policy_stalls = 0, alloc = 0, copies = 0;
-    std::size_t t = 0;
-    for (const auto& profile : workload::smoke_profiles()) {
-      harness::TraceExperiment experiment(profile, machine, budget);
-      const harness::RunResult r = experiment.run({steer::Scheme::kOp, 0});
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      const harness::RunResult& r = sweep.at(t, m, 0);
       ipc += r.ipc;
       policy_stalls += r.policy_stalls_per_kuop;
       alloc += r.alloc_stalls_per_kuop;
       copies += r.copies_per_kuop;
-      ++t;
     }
-    const auto n = static_cast<double>(t);
     table.row()
-        .add(threshold, 2)
+        .add(thresholds[m], 2)
         .add(ipc / n, 3)
         .add(policy_stalls / n, 1)
         .add(alloc / n, 1)
         .add(copies / n, 1);
   }
-  table.print(std::cout);
-  return 0;
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(table);
+  return out.finish();
 }

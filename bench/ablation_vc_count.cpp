@@ -7,51 +7,55 @@
 // partitions spread critical dependent pairs over independently-mapped VCs.
 // This bench sweeps the VC count on both machines over a workload subset.
 //
-// Usage: ablation_vc_count [--quick]
-#include <cstring>
-#include <iostream>
+// Usage: ablation_vc_count [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
 int main(int argc, char** argv) {
   using namespace vcsteer;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  const bench::Options opt = bench::parse_args(argc, argv, "ablation_vc_count");
 
+  const std::vector<std::uint32_t> vc_counts = {1, 2, 3, 4, 6};
+
+  exec::SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
   for (const std::uint32_t clusters : {2u, 4u}) {
     MachineConfig machine = MachineConfig::two_cluster();
     machine.num_clusters = clusters;
+    grid.machines.push_back(machine);
+  }
+  grid.schemes = {harness::SchemeSpec{steer::Scheme::kOp, 0}};
+  for (const std::uint32_t vcs : vc_counts) {
+    grid.schemes.push_back(harness::SchemeSpec{steer::Scheme::kVc, vcs});
+  }
+  grid.budget = opt.budget();
 
-    stats::Table table("VC-count sweep on the " + std::to_string(clusters) +
-                       "-cluster machine (slowdown vs OP %, copies/kuop)");
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+    stats::Table table(
+        "VC-count sweep on the " +
+        std::to_string(grid.machines[m].num_clusters) +
+        "-cluster machine (slowdown vs OP %, copies/kuop)");
     table.set_columns({"trace", "VC(1)", "VC(2)", "VC(3)", "VC(4)", "VC(6)",
                        "cp(1)", "cp(2)", "cp(3)", "cp(4)", "cp(6)"});
-    const std::uint32_t vc_counts[5] = {1, 2, 3, 4, 6};
-
-    for (const auto& profile : workload::smoke_profiles()) {
-      harness::TraceExperiment experiment(profile, machine, budget);
-      const harness::RunResult base =
-          experiment.run({steer::Scheme::kOp, 0});
-      double slow[5], copies[5];
-      for (int k = 0; k < 5; ++k) {
-        const harness::RunResult r =
-            experiment.run({steer::Scheme::kVc, vc_counts[k]});
-        slow[k] = stats::slowdown_pct(base.ipc, r.ipc);
-        copies[k] = r.copies_per_kuop;
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      const double base_ipc = sweep.at(t, m, 0).ipc;
+      table.row().add(grid.profiles[t].name);
+      for (std::size_t k = 0; k < vc_counts.size(); ++k) {
+        table.add(stats::slowdown_pct(base_ipc, sweep.at(t, m, k + 1).ipc), 2);
       }
-      table.row().add(profile.name);
-      for (int k = 0; k < 5; ++k) table.add(slow[k], 2);
-      for (int k = 0; k < 5; ++k) table.add(copies[k], 0);
+      for (std::size_t k = 0; k < vc_counts.size(); ++k) {
+        table.add(sweep.at(t, m, k + 1).copies_per_kuop, 0);
+      }
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    out.add(table);
   }
-  return 0;
+  return out.finish();
 }

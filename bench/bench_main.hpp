@@ -1,0 +1,163 @@
+// Shared command-line driver for the figure/ablation benches.
+//
+// Every bench used to hand-roll the same flag loop; they now share one
+// parser and one output path:
+//
+//   bench [--jobs N] [--smoke|--quick] [--seed S] [--cache-dir DIR]
+//         [--json FILE] [--csv]
+//
+//   --jobs N       worker threads for the sweep (default: all cores).
+//                  Results are bit-identical for every N (see src/exec/).
+//   --smoke        smoke budget + reduced trace set (alias: --quick).
+//   --seed S       extra salt mixed into every workload seed.
+//   --cache-dir D  on-disk result cache; warm re-runs skip simulation.
+//   --json FILE    write raw results + all tables as one JSON document.
+//   --csv          print tables as CSV instead of aligned text.
+//
+// Usage pattern:
+//   bench::Options opt = bench::parse_args(argc, argv, "fig5_twocluster");
+//   exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
+//   bench::Output out(opt);
+//   out.add_sweep(sweep);       // raw points into the JSON document
+//   out.add(derived_table);     // prints (text or CSV) + into the JSON
+//   return out.finish();        // writes --json file, reports cache stats
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exec/result_sink.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "harness/experiment.hpp"
+
+namespace vcsteer::bench {
+
+struct Options {
+  std::string bench_name;
+  unsigned jobs = exec::ThreadPool::default_jobs();
+  bool smoke = false;
+  bool csv = false;
+  std::uint64_t seed = 0;
+  std::string cache_dir;
+  std::string json_path;
+
+  harness::SimBudget budget() const {
+    return smoke ? harness::SimBudget::smoke() : harness::SimBudget{};
+  }
+
+  /// Sweep options with a stderr dot per finished (trace, machine) job.
+  exec::SweepOptions sweep_options() const {
+    exec::SweepOptions opt;
+    opt.jobs = jobs;
+    opt.cache_dir = cache_dir;
+    opt.seed_salt = seed;
+    opt.progress = [](std::size_t done, std::size_t total) {
+      std::fputc('.', stderr);
+      if (done == total) std::fputc('\n', stderr);
+    };
+    return opt;
+  }
+};
+
+[[noreturn]] inline void usage(const std::string& bench_name, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--smoke|--quick] [--seed S]\n"
+               "          [--cache-dir DIR] [--json FILE] [--csv]\n",
+               bench_name.c_str());
+  std::exit(code);
+}
+
+inline Options parse_args(int argc, char** argv, std::string bench_name) {
+  Options opt;
+  opt.bench_name = std::move(bench_name);
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", opt.bench_name.c_str(),
+                   argv[i]);
+      usage(opt.bench_name, 2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0) {
+      const long jobs = std::strtol(value(i), nullptr, 10);
+      // Clamp: negatives/0 mean serial, and there is no point spawning more
+      // workers than any realistic grid has jobs.
+      opt.jobs = static_cast<unsigned>(std::clamp(jobs, 1L, 512L));
+    } else if (std::strcmp(arg, "--smoke") == 0 ||
+               std::strcmp(arg, "--quick") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      opt.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      opt.cache_dir = value(i);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      opt.json_path = value(i);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(opt.bench_name, 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", opt.bench_name.c_str(),
+                   arg);
+      usage(opt.bench_name, 2);
+    }
+  }
+  return opt;
+}
+
+/// Prints tables as they are added (text or CSV per --csv), accumulates
+/// everything into a ResultSink, and writes the --json file on finish().
+class Output {
+ public:
+  explicit Output(const Options& opt) : opt_(opt), sink_(opt.bench_name) {}
+
+  void add_sweep(const exec::SweepResult& sweep) {
+    sink_.add_sweep(sweep);
+    if (!opt_.cache_dir.empty()) {
+      std::fprintf(stderr, "%s: %zu points (%zu simulated, %zu cache hits)\n",
+                   opt_.bench_name.c_str(), sweep.num_points(),
+                   sweep.simulated, sweep.cache_hits);
+    }
+  }
+
+  void add(const stats::Table& table) {
+    if (first_) {
+      first_ = false;
+    } else {
+      std::cout << '\n';
+    }
+    std::cout << (opt_.csv ? table.to_csv() : table.to_text());
+    sink_.add_table(table);
+  }
+
+  int finish() {
+    if (!opt_.json_path.empty()) {
+      std::ofstream os(opt_.json_path);
+      if (os) {
+        sink_.write_json(os);
+        os.flush();
+      }
+      if (!os) {
+        std::fprintf(stderr, "%s: cannot write %s\n", opt_.bench_name.c_str(),
+                     opt_.json_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  const Options& opt_;
+  exec::ResultSink sink_;
+  bool first_ = true;
+};
+
+}  // namespace vcsteer::bench

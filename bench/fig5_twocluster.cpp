@@ -6,63 +6,32 @@
 // VC 2.62 (% slowdown vs OP). We reproduce the *shape*: the ordering and
 // rough magnitudes, not the absolute SPEC numbers (see EXPERIMENTS.md).
 //
-// Usage: fig5_twocluster [--quick] [--csv]
-#include <cstdio>
-#include <cstring>
-#include <iostream>
+// Usage: fig5_twocluster [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
-namespace {
-
-using namespace vcsteer;
-
-struct Row {
-  std::string trace;
-  bool is_fp;
-  double slow[4];  // one-cluster, OB, RHOP, VC
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  bool quick = false;
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-  }
+  using namespace vcsteer;
+  const bench::Options opt = bench::parse_args(argc, argv, "fig5_twocluster");
 
-  const MachineConfig machine = MachineConfig::two_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
-
-  const std::vector<harness::SchemeSpec> specs = {
-      {steer::Scheme::kOp, 0},
-      {steer::Scheme::kOneCluster, 0},
-      {steer::Scheme::kOb, 0},
-      {steer::Scheme::kRhop, 0},
-      {steer::Scheme::kVc, 2},  // paper: 2 virtual clusters on 2 clusters
+  exec::SweepGrid grid;
+  const auto profiles =
+      opt.smoke ? workload::smoke_profiles() : workload::all_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kOneCluster, 0},
+      harness::SchemeSpec{steer::Scheme::kOb, 0},
+      harness::SchemeSpec{steer::Scheme::kRhop, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 2},  // paper: 2 VCs on 2 clusters
   };
+  grid.budget = opt.budget();
 
-  std::vector<Row> rows;
-  for (const auto& profile : workload::all_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    const harness::RunResult base = experiment.run(specs[0]);
-    Row row;
-    row.trace = profile.name;
-    row.is_fp = profile.is_fp;
-    for (int s = 1; s <= 4; ++s) {
-      const harness::RunResult r = experiment.run(specs[s]);
-      row.slow[s - 1] = stats::slowdown_pct(base.ipc, r.ipc);
-    }
-    rows.push_back(row);
-    std::fprintf(stderr, ".");
-  }
-  std::fprintf(stderr, "\n");
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table int_table("Fig 5(a): SPECint 2000 slowdown vs OP, 2 clusters (%)");
   stats::Table fp_table("Fig 5(b): SPECfp 2000 slowdown vs OP, 2 clusters (%)");
@@ -70,13 +39,17 @@ int main(int argc, char** argv) {
     t->set_columns({"trace", "one-cluster", "OB", "RHOP", "VC"});
   }
   std::vector<double> int_avg[4], fp_avg[4], all_avg[4];
-  for (const Row& row : rows) {
-    stats::Table& t = row.is_fp ? fp_table : int_table;
-    t.row().add(row.trace);
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    const bool is_fp = grid.profiles[t].is_fp;
+    const double base_ipc = sweep.at(t, 0).ipc;
+    stats::Table& table = is_fp ? fp_table : int_table;
+    table.row().add(grid.profiles[t].name);
     for (int s = 0; s < 4; ++s) {
-      t.add(row.slow[s], 2);
-      (row.is_fp ? fp_avg : int_avg)[s].push_back(row.slow[s]);
-      all_avg[s].push_back(row.slow[s]);
+      const double slow =
+          stats::slowdown_pct(base_ipc, sweep.at(t, s + 1).ipc);
+      table.add(slow, 2);
+      (is_fp ? fp_avg : int_avg)[s].push_back(slow);
+      all_avg[s].push_back(slow);
     }
   }
 
@@ -92,16 +65,10 @@ int main(int argc, char** argv) {
         .add(stats::mean(all_avg[s]), 2);
   }
 
-  if (csv) {
-    std::cout << int_table.to_csv() << '\n'
-              << fp_table.to_csv() << '\n'
-              << avg_table.to_csv();
-  } else {
-    int_table.print(std::cout);
-    std::cout << '\n';
-    fp_table.print(std::cout);
-    std::cout << '\n';
-    avg_table.print(std::cout);
-  }
-  return 0;
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(int_table);
+  out.add(fp_table);
+  out.add(avg_table);
+  return out.finish();
 }

@@ -14,12 +14,11 @@
 // traces; VC beats RHOP mainly via fewer/cheaper cut dependences while RHOP
 // balances better; VC generates *more* copies than OP but balances better.
 //
-// Usage: fig6_scatter [--quick] [--csv]
-#include <cstring>
-#include <iostream>
+// Usage: fig6_scatter [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+#include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
@@ -35,50 +34,53 @@ double reduction_pct(double vc, double other) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-  }
+  const bench::Options opt = bench::parse_args(argc, argv, "fig6_scatter");
 
-  const MachineConfig machine = MachineConfig::two_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  exec::SweepGrid grid;
+  const auto profiles =
+      opt.smoke ? workload::smoke_profiles() : workload::all_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kVc, 2},
+      harness::SchemeSpec{steer::Scheme::kOb, 0},
+      harness::SchemeSpec{steer::Scheme::kRhop, 0},
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+  };
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   struct Comparison {
     const char* name;
-    harness::SchemeSpec spec;
+    std::size_t scheme;  // index into grid.schemes
     stats::Table table;
     int copy_better = 0, balance_better = 0, rows = 0;
   };
   std::vector<Comparison> comparisons;
-  comparisons.push_back({"OB", {steer::Scheme::kOb, 0},
-                         stats::Table("Fig 6(a.1,b.1): VC vs OB, per trace"),
-                         0, 0, 0});
-  comparisons.push_back({"RHOP", {steer::Scheme::kRhop, 0},
-                         stats::Table("Fig 6(a.2,b.2): VC vs RHOP, per trace"),
-                         0, 0, 0});
-  comparisons.push_back({"OP", {steer::Scheme::kOp, 0},
-                         stats::Table("Fig 6(a.3,b.3): VC vs OP, per trace"),
-                         0, 0, 0});
+  comparisons.push_back(
+      {"OB", 1, stats::Table("Fig 6(a.1,b.1): VC vs OB, per trace"), 0, 0, 0});
+  comparisons.push_back(
+      {"RHOP", 2, stats::Table("Fig 6(a.2,b.2): VC vs RHOP, per trace"), 0, 0,
+       0});
+  comparisons.push_back(
+      {"OP", 3, stats::Table("Fig 6(a.3,b.3): VC vs OP, per trace"), 0, 0, 0});
   for (auto& c : comparisons) {
     c.table.set_columns({"trace", "speedup (%)", "copy reduction (%)",
                          "balance improvement (%)"});
   }
 
-  for (const auto& profile : workload::all_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    const harness::RunResult vc = experiment.run({steer::Scheme::kVc, 2});
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    const harness::RunResult& vc = sweep.at(t, 0);
     for (auto& c : comparisons) {
-      const harness::RunResult other = experiment.run(c.spec);
+      const harness::RunResult& other = sweep.at(t, c.scheme);
       const double speedup = stats::speedup_pct(vc.ipc, other.ipc);
       const double copy_red =
           reduction_pct(vc.copies_per_kuop, other.copies_per_kuop);
       const double bal_imp = reduction_pct(vc.alloc_stalls_per_kuop,
                                            other.alloc_stalls_per_kuop);
       c.table.row()
-          .add(profile.name)
+          .add(grid.profiles[t].name)
           .add(speedup, 2)
           .add(copy_red, 2)
           .add(bal_imp, 2);
@@ -86,9 +88,7 @@ int main(int argc, char** argv) {
       c.balance_better += bal_imp > 0;
       ++c.rows;
     }
-    std::fprintf(stderr, ".");
   }
-  std::fprintf(stderr, "\n");
 
   stats::Table summary("Fig 6 summary: fraction of traces where VC wins");
   summary.set_columns(
@@ -100,9 +100,9 @@ int main(int argc, char** argv) {
         .add(std::to_string(c.balance_better) + "/" + std::to_string(c.rows));
   }
 
-  for (auto& c : comparisons) {
-    std::cout << (csv ? c.table.to_csv() : c.table.to_text()) << '\n';
-  }
-  std::cout << (csv ? summary.to_csv() : summary.to_text());
-  return 0;
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  for (auto& c : comparisons) out.add(c.table);
+  out.add(summary);
+  return out.finish();
 }

@@ -8,64 +8,32 @@
 // copies than VC(2->4) because pairs of critical dependent instructions get
 // spread across virtual clusters that the hardware may map apart.
 //
-// Usage: fig7_fourcluster [--quick] [--csv]
-#include <cstdio>
-#include <cstring>
-#include <iostream>
+// Usage: fig7_fourcluster [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
-namespace {
-
-using namespace vcsteer;
-
-struct Row {
-  std::string trace;
-  bool is_fp;
-  double slow[4];    // OB, RHOP, VC(4->4), VC(2->4)
-  double copies[2];  // VC(4->4), VC(2->4), per kuop
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  bool quick = false;
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-  }
+  using namespace vcsteer;
+  const bench::Options opt = bench::parse_args(argc, argv, "fig7_fourcluster");
 
-  const MachineConfig machine = MachineConfig::four_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
-
-  const std::vector<harness::SchemeSpec> specs = {
-      {steer::Scheme::kOp, 0},   {steer::Scheme::kOb, 0},
-      {steer::Scheme::kRhop, 0}, {steer::Scheme::kVc, 4},
-      {steer::Scheme::kVc, 2},
+  exec::SweepGrid grid;
+  const auto profiles =
+      opt.smoke ? workload::smoke_profiles() : workload::all_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::four_cluster()};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kOb, 0},
+      harness::SchemeSpec{steer::Scheme::kRhop, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 4},
+      harness::SchemeSpec{steer::Scheme::kVc, 2},
   };
+  grid.budget = opt.budget();
 
-  std::vector<Row> rows;
-  for (const auto& profile : workload::all_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    const harness::RunResult base = experiment.run(specs[0]);
-    Row row;
-    row.trace = profile.name;
-    row.is_fp = profile.is_fp;
-    for (int s = 1; s <= 4; ++s) {
-      const harness::RunResult r = experiment.run(specs[s]);
-      row.slow[s - 1] = stats::slowdown_pct(base.ipc, r.ipc);
-      if (s == 3) row.copies[0] = r.copies_per_kuop;
-      if (s == 4) row.copies[1] = r.copies_per_kuop;
-    }
-    rows.push_back(row);
-    std::fprintf(stderr, ".");
-  }
-  std::fprintf(stderr, "\n");
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table int_table("Fig 7(a): SPECint 2000 slowdown vs OP, 4 clusters (%)");
   stats::Table fp_table("Fig 7(b): SPECfp 2000 slowdown vs OP, 4 clusters (%)");
@@ -74,16 +42,20 @@ int main(int argc, char** argv) {
   }
   std::vector<double> int_avg[4], fp_avg[4], all_avg[4];
   double copies44 = 0.0, copies24 = 0.0;
-  for (const Row& row : rows) {
-    stats::Table& t = row.is_fp ? fp_table : int_table;
-    t.row().add(row.trace);
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    const bool is_fp = grid.profiles[t].is_fp;
+    const double base_ipc = sweep.at(t, 0).ipc;
+    stats::Table& table = is_fp ? fp_table : int_table;
+    table.row().add(grid.profiles[t].name);
     for (int s = 0; s < 4; ++s) {
-      t.add(row.slow[s], 2);
-      (row.is_fp ? fp_avg : int_avg)[s].push_back(row.slow[s]);
-      all_avg[s].push_back(row.slow[s]);
+      const harness::RunResult& r = sweep.at(t, s + 1);
+      const double slow = stats::slowdown_pct(base_ipc, r.ipc);
+      table.add(slow, 2);
+      (is_fp ? fp_avg : int_avg)[s].push_back(slow);
+      all_avg[s].push_back(slow);
+      if (s == 2) copies44 += r.copies_per_kuop;
+      if (s == 3) copies24 += r.copies_per_kuop;
     }
-    copies44 += row.copies[0];
-    copies24 += row.copies[1];
   }
 
   stats::Table avg_table(
@@ -99,28 +71,21 @@ int main(int argc, char** argv) {
         .add(stats::mean(all_avg[s]), 2);
   }
 
+  const auto num_traces = static_cast<double>(grid.profiles.size());
   stats::Table copy_table(
       "Sec 5.4: copy micro-ops, VC(4->4) vs VC(2->4)  [paper: +28% on average]");
   copy_table.set_columns(
       {"VC(4->4) copies/kuop", "VC(2->4) copies/kuop", "excess (%)"});
   copy_table.row()
-      .add(copies44 / rows.size(), 1)
-      .add(copies24 / rows.size(), 1)
+      .add(copies44 / num_traces, 1)
+      .add(copies24 / num_traces, 1)
       .add(copies24 > 0 ? (copies44 / copies24 - 1.0) * 100.0 : 0.0, 1);
 
-  if (csv) {
-    std::cout << int_table.to_csv() << '\n'
-              << fp_table.to_csv() << '\n'
-              << avg_table.to_csv() << '\n'
-              << copy_table.to_csv();
-  } else {
-    int_table.print(std::cout);
-    std::cout << '\n';
-    fp_table.print(std::cout);
-    std::cout << '\n';
-    avg_table.print(std::cout);
-    std::cout << '\n';
-    copy_table.print(std::cout);
-  }
-  return 0;
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(int_table);
+  out.add(fp_table);
+  out.add(avg_table);
+  out.add(copy_table);
+  return out.finish();
 }

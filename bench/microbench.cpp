@@ -1,13 +1,18 @@
 // Microbenchmarks of the infrastructure itself (google-benchmark):
 // simulator throughput (simulated micro-ops per second), trace generation,
-// PinPoints analysis, the multilevel partitioner, and the software passes.
+// PinPoints analysis, the multilevel partitioner, the software passes, and
+// the exec layer (thread-pool dispatch, cache-key construction).
 // These guard against performance regressions that would make the figure
 // sweeps impractically slow.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "compiler/ob_pass.hpp"
 #include "compiler/rhop_pass.hpp"
 #include "compiler/vc_pass.hpp"
+#include "exec/cache.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/partition.hpp"
 #include "harness/experiment.hpp"
 #include "sim/core.hpp"
@@ -122,6 +127,41 @@ void BM_ObPass(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * wl.program.num_uops());
 }
 BENCHMARK(BM_ObPass);
+
+// Per-task overhead of the sweep executor's pool: submit a batch of trivial
+// tasks and drain it. Simulation jobs are seconds long, so anything in the
+// microsecond range per task is negligible — this guards that property.
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  const int kTasks = 256;
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    exec::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+// Cost of building a canonical cache key for one sweep point (paid once per
+// point per run when --cache-dir is active).
+void BM_CacheKey(benchmark::State& state) {
+  const workload::WorkloadProfile& profile = bench_profile();
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SchemeSpec spec{steer::Scheme::kVc, 2};
+  const harness::SimBudget budget;
+  for (auto _ : state) {
+    const std::string key = exec::cache_key(profile, machine, spec, budget);
+    benchmark::DoNotOptimize(key.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheKey);
 
 }  // namespace
 

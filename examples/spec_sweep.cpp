@@ -5,46 +5,46 @@
 // behaviour, phases, instruction mix). Useful for understanding *why* a
 // steering scheme wins or loses on a given trace in Figures 5-7.
 //
-//   $ ./examples/spec_sweep [--quick]
-#include <cstring>
-#include <iostream>
-
-#include "harness/experiment.hpp"
+//   $ ./spec_sweep [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+#include "../bench/bench_main.hpp"
 #include "stats/table.hpp"
 #include "workload/profiles.hpp"
 
 int main(int argc, char** argv) {
   using namespace vcsteer;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
-  const MachineConfig machine = MachineConfig::two_cluster();
-  const harness::SimBudget budget =
-      quick ? harness::SimBudget::smoke() : harness::SimBudget{};
+  const bench::Options opt = bench::parse_args(argc, argv, "spec_sweep");
+
+  exec::SweepGrid grid;
+  const auto profiles =
+      opt.smoke ? workload::smoke_profiles() : workload::all_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.end());
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {harness::SchemeSpec{steer::Scheme::kOp, 0}};
+  grid.budget = opt.budget();
+
+  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
   stats::Table table("SPEC CPU2000 stand-in workloads under OP, 2 clusters");
   table.set_columns({"trace", "suite", "IPC", "L1 miss %", "L2 miss %",
                      "phases", "copies/kuop", "stalls/kuop"});
-
-  for (const auto& profile : workload::all_profiles()) {
-    harness::TraceExperiment experiment(profile, machine, budget);
-    const harness::RunResult r = experiment.run({steer::Scheme::kOp, 0});
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    const harness::RunResult& r = sweep.at(t, 0);
     const mem::HierarchyStats& m = r.last_interval.memory;
     const double l1_acc = static_cast<double>(m.l1_hits + m.l1_misses);
     const double l2_acc = static_cast<double>(m.l2_hits + m.l2_misses);
     table.row()
-        .add(profile.name)
-        .add(std::string(profile.is_fp ? "FP" : "INT"))
+        .add(grid.profiles[t].name)
+        .add(std::string(grid.profiles[t].is_fp ? "FP" : "INT"))
         .add(r.ipc, 3)
         .add(l1_acc > 0 ? 100.0 * m.l1_misses / l1_acc : 0.0, 1)
         .add(l2_acc > 0 ? 100.0 * m.l2_misses / l2_acc : 0.0, 1)
-        .add(static_cast<std::uint64_t>(experiment.simpoints().size()))
+        .add(r.num_points)
         .add(r.copies_per_kuop, 1)
         .add(r.alloc_stalls_per_kuop + r.policy_stalls_per_kuop, 1);
-    std::cerr << '.';
   }
-  std::cerr << '\n';
-  table.print(std::cout);
-  return 0;
+
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  out.add(table);
+  return out.finish();
 }

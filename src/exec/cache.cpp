@@ -1,0 +1,293 @@
+#include "exec/cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace vcsteer::exec {
+
+namespace {
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void write_sim_stats(FieldWriter& w, std::string_view prefix,
+                     const sim::SimStats& s) {
+  auto f = [&](std::string_view name, std::uint64_t v) {
+    w.field(std::string(prefix) + std::string(name), v);
+  };
+  f("cycles", s.cycles);
+  f("committed_uops", s.committed_uops);
+  f("dispatched_uops", s.dispatched_uops);
+  f("copies_generated", s.copies_generated);
+  f("alloc_stalls", s.alloc_stalls);
+  f("policy_stalls", s.policy_stalls);
+  f("rob_stalls", s.rob_stalls);
+  f("lsq_stalls", s.lsq_stalls);
+  f("copyq_stalls", s.copyq_stalls);
+  f("copy_bandwidth_stalls", s.copy_bandwidth_stalls);
+  f("regfile_stalls", s.regfile_stalls);
+  f("frontend_empty", s.frontend_empty);
+  for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
+    f("dispatched_to." + std::to_string(c), s.dispatched_to[c]);
+    f("occupancy_sum." + std::to_string(c), s.occupancy_sum[c]);
+  }
+  f("memory.loads", s.memory.loads);
+  f("memory.stores", s.memory.stores);
+  f("memory.l1_hits", s.memory.l1_hits);
+  f("memory.l1_misses", s.memory.l1_misses);
+  f("memory.l2_hits", s.memory.l2_hits);
+  f("memory.l2_misses", s.memory.l2_misses);
+  f("memory.port_wait_cycles", s.memory.port_wait_cycles);
+}
+
+/// Parsed `name=value` lines of a cache file.
+using FieldMap = std::map<std::string, std::string, std::less<>>;
+
+bool parse_fields(std::istream& is, FieldMap* out) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    (*out)[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return true;
+}
+
+bool get_u64(const FieldMap& m, std::string_view name, std::uint64_t* out) {
+  const auto it = m.find(name);
+  if (it == m.end()) return false;
+  *out = std::strtoull(it->second.c_str(), nullptr, 10);
+  return true;
+}
+
+bool get_double(const FieldMap& m, std::string_view name, double* out) {
+  const auto it = m.find(name);
+  if (it == m.end()) return false;
+  *out = std::strtod(it->second.c_str(), nullptr);
+  return true;
+}
+
+bool get_string(const FieldMap& m, std::string_view name, std::string* out) {
+  const auto it = m.find(name);
+  if (it == m.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool read_sim_stats(const FieldMap& m, std::string_view prefix,
+                    sim::SimStats* s) {
+  auto f = [&](std::string_view name, std::uint64_t* v) {
+    return get_u64(m, std::string(prefix) + std::string(name), v);
+  };
+  bool ok = f("cycles", &s->cycles) && f("committed_uops", &s->committed_uops) &&
+            f("dispatched_uops", &s->dispatched_uops) &&
+            f("copies_generated", &s->copies_generated) &&
+            f("alloc_stalls", &s->alloc_stalls) &&
+            f("policy_stalls", &s->policy_stalls) &&
+            f("rob_stalls", &s->rob_stalls) && f("lsq_stalls", &s->lsq_stalls) &&
+            f("copyq_stalls", &s->copyq_stalls) &&
+            f("copy_bandwidth_stalls", &s->copy_bandwidth_stalls) &&
+            f("regfile_stalls", &s->regfile_stalls) &&
+            f("frontend_empty", &s->frontend_empty);
+  for (std::uint32_t c = 0; ok && c < sim::kMaxClusters; ++c) {
+    ok = f("dispatched_to." + std::to_string(c), &s->dispatched_to[c]) &&
+         f("occupancy_sum." + std::to_string(c), &s->occupancy_sum[c]);
+  }
+  return ok && f("memory.loads", &s->memory.loads) &&
+         f("memory.stores", &s->memory.stores) &&
+         f("memory.l1_hits", &s->memory.l1_hits) &&
+         f("memory.l1_misses", &s->memory.l1_misses) &&
+         f("memory.l2_hits", &s->memory.l2_hits) &&
+         f("memory.l2_misses", &s->memory.l2_misses) &&
+         f("memory.port_wait_cycles", &s->memory.port_wait_cycles);
+}
+
+}  // namespace
+
+FieldWriter& FieldWriter::field(std::string_view name, std::string_view value) {
+  text_.append(name);
+  text_.push_back('=');
+  text_.append(value);
+  text_.push_back('\n');
+  return *this;
+}
+
+FieldWriter& FieldWriter::field(std::string_view name, double value) {
+  return field(name, format_double(value));
+}
+
+FieldWriter& FieldWriter::field(std::string_view name, std::uint64_t value) {
+  return field(name, std::to_string(value));
+}
+
+FieldWriter& FieldWriter::field(std::string_view name, std::int64_t value) {
+  return field(name, std::to_string(value));
+}
+
+std::string cache_key(const workload::WorkloadProfile& p,
+                      const MachineConfig& m, const harness::SchemeSpec& spec,
+                      const harness::SimBudget& budget,
+                      std::string_view custom_tag) {
+  FieldWriter w;
+  w.field("format", std::uint64_t{1});
+  // Workload profile — every generator input.
+  w.field("profile.name", p.name);
+  w.field("profile.is_fp", std::uint64_t{p.is_fp});
+  w.field("profile.num_blocks", std::uint64_t{p.num_blocks});
+  w.field("profile.min_block_uops", std::uint64_t{p.min_block_uops});
+  w.field("profile.max_block_uops", std::uint64_t{p.max_block_uops});
+  w.field("profile.ilp_chains", p.ilp_chains);
+  w.field("profile.chain_bias", p.chain_bias);
+  w.field("profile.cross_block_reuse", p.cross_block_reuse);
+  w.field("profile.loop_carried_deps", std::uint64_t{p.loop_carried_deps});
+  w.field("profile.fp_fraction", p.fp_fraction);
+  w.field("profile.load_fraction", p.load_fraction);
+  w.field("profile.store_fraction", p.store_fraction);
+  w.field("profile.mul_fraction", p.mul_fraction);
+  w.field("profile.div_fraction", p.div_fraction);
+  w.field("profile.working_set_kb", std::uint64_t{p.working_set_kb});
+  w.field("profile.stride_fraction", p.stride_fraction);
+  w.field("profile.pointer_chase", p.pointer_chase);
+  w.field("profile.loop_backedge_prob", p.loop_backedge_prob);
+  w.field("profile.phase_count", std::uint64_t{p.phase_count});
+  w.field("profile.phase_length_kuops", std::uint64_t{p.phase_length_kuops});
+  w.field("profile.seed_salt", p.seed_salt);
+  // Machine — every architectural parameter of Table 2.
+  w.field("machine.fetch_width", std::uint64_t{m.fetch_width});
+  w.field("machine.fetch_to_dispatch", std::uint64_t{m.fetch_to_dispatch});
+  w.field("machine.decode_width_int", std::uint64_t{m.decode_width_int});
+  w.field("machine.decode_width_fp", std::uint64_t{m.decode_width_fp});
+  w.field("machine.rob_int_entries", std::uint64_t{m.rob_int_entries});
+  w.field("machine.rob_fp_entries", std::uint64_t{m.rob_fp_entries});
+  w.field("machine.commit_width_int", std::uint64_t{m.commit_width_int});
+  w.field("machine.commit_width_fp", std::uint64_t{m.commit_width_fp});
+  w.field("machine.num_clusters", std::uint64_t{m.num_clusters});
+  w.field("machine.iq_int_entries", std::uint64_t{m.iq_int_entries});
+  w.field("machine.iq_fp_entries", std::uint64_t{m.iq_fp_entries});
+  w.field("machine.iq_copy_entries", std::uint64_t{m.iq_copy_entries});
+  w.field("machine.issue_width_int", std::uint64_t{m.issue_width_int});
+  w.field("machine.issue_width_fp", std::uint64_t{m.issue_width_fp});
+  w.field("machine.issue_width_copy", std::uint64_t{m.issue_width_copy});
+  w.field("machine.regfile_int", std::uint64_t{m.regfile_int});
+  w.field("machine.regfile_fp", std::uint64_t{m.regfile_fp});
+  w.field("machine.link_latency", std::uint64_t{m.link_latency});
+  w.field("machine.copies_per_link_cycle",
+          std::uint64_t{m.copies_per_link_cycle});
+  for (const auto& [tag, cache] :
+       {std::pair<const char*, const CacheConfig&>{"l1d", m.l1d},
+        std::pair<const char*, const CacheConfig&>{"l2", m.l2}}) {
+    const std::string base = std::string("machine.") + tag + ".";
+    w.field(base + "size_bytes", std::uint64_t{cache.size_bytes});
+    w.field(base + "associativity", std::uint64_t{cache.associativity});
+    w.field(base + "line_bytes", std::uint64_t{cache.line_bytes});
+    w.field(base + "hit_latency", std::uint64_t{cache.hit_latency});
+  }
+  w.field("machine.memory_latency", std::uint64_t{m.memory_latency});
+  w.field("machine.lsq_entries", std::uint64_t{m.lsq_entries});
+  w.field("machine.l1_read_ports", std::uint64_t{m.l1_read_ports});
+  w.field("machine.l1_write_ports", std::uint64_t{m.l1_write_ports});
+  w.field("machine.op_occupancy_threshold", m.op_occupancy_threshold);
+  // Scheme + budget.
+  w.field("scheme.scheme", std::uint64_t{static_cast<unsigned>(spec.scheme)});
+  w.field("scheme.num_vcs", std::uint64_t{spec.num_vcs});
+  w.field("scheme.vc_min_leader_chain", std::uint64_t{spec.vc_min_leader_chain});
+  w.field("scheme.custom_tag", custom_tag);
+  w.field("budget.total_uops", budget.total_uops);
+  w.field("budget.interval_uops", budget.interval_uops);
+  w.field("budget.max_phases", std::uint64_t{budget.max_phases});
+  return w.text();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  VCSTEER_CHECK_MSG(!dir_.empty(), "ResultCache needs a directory");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016" PRIx64 ".result",
+                hash_seed(key));
+  return dir_ + "/" + name;
+}
+
+bool ResultCache::load(const std::string& key,
+                       harness::RunResult* out) const {
+  std::ifstream in(path_for(key));
+  if (!in) return false;
+  // The file is "<key lines> -- <result lines>"; the key section must match
+  // the probe exactly, else this is a hash collision or a stale format.
+  std::string line, stored_key;
+  bool found_sep = false;
+  while (std::getline(in, line)) {
+    if (line == "--") {
+      found_sep = true;
+      break;
+    }
+    stored_key += line;
+    stored_key += '\n';
+  }
+  if (!found_sep || stored_key != key) return false;
+
+  FieldMap fields;
+  if (!parse_fields(in, &fields)) return false;
+  harness::RunResult r;
+  if (!get_string(fields, "trace", &r.trace) ||
+      !get_string(fields, "scheme", &r.scheme) ||
+      !get_double(fields, "ipc", &r.ipc) ||
+      !get_double(fields, "copies_per_kuop", &r.copies_per_kuop) ||
+      !get_double(fields, "alloc_stalls_per_kuop", &r.alloc_stalls_per_kuop) ||
+      !get_double(fields, "policy_stalls_per_kuop",
+                  &r.policy_stalls_per_kuop) ||
+      !get_u64(fields, "committed_uops", &r.committed_uops) ||
+      !get_u64(fields, "cycles", &r.cycles) ||
+      !get_u64(fields, "num_points", &r.num_points) ||
+      !read_sim_stats(fields, "last_interval.", &r.last_interval)) {
+    return false;
+  }
+  *out = std::move(r);
+  return true;
+}
+
+void ResultCache::store(const std::string& key,
+                        const harness::RunResult& result) const {
+  FieldWriter w;
+  w.field("trace", result.trace);
+  w.field("scheme", result.scheme);
+  w.field("ipc", result.ipc);
+  w.field("copies_per_kuop", result.copies_per_kuop);
+  w.field("alloc_stalls_per_kuop", result.alloc_stalls_per_kuop);
+  w.field("policy_stalls_per_kuop", result.policy_stalls_per_kuop);
+  w.field("committed_uops", result.committed_uops);
+  w.field("cycles", result.cycles);
+  w.field("num_points", result.num_points);
+  write_sim_stats(w, "last_interval.", result.last_interval);
+
+  const std::string path = path_for(key);
+  // Unique temp name per writer so concurrent stores of the same point
+  // cannot interleave; rename is atomic within the directory.
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << std::this_thread::get_id();
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream outf(tmp, std::ios::trunc);
+    if (!outf) return;  // cache is best-effort; failure to write is a miss later
+    outf << key << "--\n" << w.text();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace vcsteer::exec

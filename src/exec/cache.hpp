@@ -1,0 +1,69 @@
+// On-disk result cache for simulation points.
+//
+// A sweep point is fully determined by (workload profile, machine config,
+// scheme spec, simulation budget): the whole pipeline downstream of those
+// structs is deterministic. CacheKey serialises every field of all four in a
+// fixed order into a canonical text form; its 64-bit hash names the cache
+// file and the full text is stored inside it, so a load only hits when the
+// canonical forms match exactly — changing any parameter (or adding a field
+// to one of the structs) invalidates the entry instead of aliasing it.
+// Doubles are printed with %.17g on both the key and the value side, which
+// round-trips IEEE doubles exactly: a cache hit reproduces the RunResult
+// bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/config.hpp"
+#include "harness/experiment.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer::exec {
+
+/// Canonical `name=value` accumulator for cache keys and cached results.
+class FieldWriter {
+ public:
+  FieldWriter& field(std::string_view name, std::string_view value);
+  FieldWriter& field(std::string_view name, double value);
+  FieldWriter& field(std::string_view name, std::uint64_t value);
+  FieldWriter& field(std::string_view name, std::int64_t value);
+
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// Canonical description of one sweep point. `custom_tag` distinguishes
+/// caller-supplied policies that SchemeSpec cannot describe (e.g. "MOD3");
+/// it must encode everything that parameterises the custom policy.
+std::string cache_key(const workload::WorkloadProfile& profile,
+                      const MachineConfig& machine,
+                      const harness::SchemeSpec& spec,
+                      const harness::SimBudget& budget,
+                      std::string_view custom_tag = {});
+
+class ResultCache {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit ResultCache(std::string dir);
+
+  /// Fills `out` and returns true when `key` is cached; false on miss or on
+  /// a stale/corrupt entry (which is treated as a miss).
+  bool load(const std::string& key, harness::RunResult* out) const;
+
+  /// Persists `result` under `key` (atomic rename, safe under concurrent
+  /// writers of the same point).
+  void store(const std::string& key, const harness::RunResult& result) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+};
+
+}  // namespace vcsteer::exec

@@ -1,0 +1,68 @@
+#include "exec/result_sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace vcsteer::exec {
+
+void ResultSink::add_sweep(const SweepResult& sweep) {
+  results_.insert(results_.end(), sweep.points().begin(),
+                  sweep.points().end());
+  simulated_ += sweep.simulated;
+  cache_hits_ += sweep.cache_hits;
+}
+
+void ResultSink::add_table(stats::Table table) {
+  tables_.push_back(std::move(table));
+}
+
+stats::Table ResultSink::raw_table(std::string title) const {
+  stats::Table t(std::move(title));
+  t.set_columns({"trace", "scheme", "IPC", "copies/kuop", "alloc stalls/kuop",
+                 "policy stalls/kuop", "committed uops", "cycles"});
+  for (const harness::RunResult& r : results_) {
+    t.row()
+        .add(r.trace)
+        .add(r.scheme)
+        .add(r.ipc, 4)
+        .add(r.copies_per_kuop, 2)
+        .add(r.alloc_stalls_per_kuop, 2)
+        .add(r.policy_stalls_per_kuop, 2)
+        .add(r.committed_uops)
+        .add(r.cycles);
+  }
+  return t;
+}
+
+void ResultSink::write_json(std::ostream& os) const {
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\"bench\":" << stats::json_quote(bench_name_) << ',';
+  os << "\"sweep\":{\"points\":" << results_.size()
+     << ",\"simulated\":" << simulated_ << ",\"cache_hits\":" << cache_hits_
+     << "},";
+  os << "\"results\":[";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const harness::RunResult& r = results_[i];
+    if (i) os << ',';
+    os << "{\"trace\":" << stats::json_quote(r.trace)
+       << ",\"scheme\":" << stats::json_quote(r.scheme)
+       << ",\"ipc\":" << num(r.ipc)
+       << ",\"copies_per_kuop\":" << num(r.copies_per_kuop)
+       << ",\"alloc_stalls_per_kuop\":" << num(r.alloc_stalls_per_kuop)
+       << ",\"policy_stalls_per_kuop\":" << num(r.policy_stalls_per_kuop)
+       << ",\"committed_uops\":" << r.committed_uops
+       << ",\"cycles\":" << r.cycles << "}";
+  }
+  os << "],\"tables\":[";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (i) os << ',';
+    os << tables_[i].to_json();
+  }
+  os << "]}\n";
+}
+
+}  // namespace vcsteer::exec

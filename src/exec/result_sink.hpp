@@ -1,0 +1,46 @@
+// Aggregation of sweep results into tables and a JSON document.
+//
+// A bench pushes the raw SweepResult plus every derived stats::Table it
+// prints; write_json() then emits one self-describing document
+//   {"bench":..., "sweep":{counters}, "results":[{per-point record}...],
+//    "tables":[{title,columns,rows}...]}
+// so a single --json file carries both the full-precision raw points (for
+// plotting/regression-diffing) and the rendered figure tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace vcsteer::exec {
+
+class ResultSink {
+ public:
+  explicit ResultSink(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Record every point of `sweep` (plus its simulated/cache-hit counters).
+  void add_sweep(const SweepResult& sweep);
+  void add_table(stats::Table table);
+
+  const std::vector<harness::RunResult>& results() const { return results_; }
+
+  /// Raw per-point table (trace, scheme, IPC, copies, stalls) — the generic
+  /// rendering a bench gets for free before any figure-specific tables.
+  stats::Table raw_table(std::string title) const;
+
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<harness::RunResult> results_;
+  std::vector<stats::Table> tables_;
+  std::size_t simulated_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace vcsteer::exec

@@ -1,0 +1,118 @@
+#include "exec/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "common/check.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace vcsteer::exec {
+
+SweepResult::SweepResult(std::size_t traces, std::size_t machines,
+                         std::size_t schemes)
+    : traces_(traces),
+      machines_(machines),
+      schemes_(schemes),
+      points_(traces * machines * schemes) {}
+
+const harness::RunResult& SweepResult::at(std::size_t t, std::size_t m,
+                                          std::size_t s) const {
+  VCSTEER_CHECK(t < traces_ && m < machines_ && s < schemes_);
+  return points_[(t * machines_ + m) * schemes_ + s];
+}
+
+harness::RunResult& SweepResult::slot(std::size_t t, std::size_t m,
+                                      std::size_t s) {
+  return points_[(t * machines_ + m) * schemes_ + s];
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
+  VCSTEER_CHECK_MSG(!grid.profiles.empty() && !grid.machines.empty() &&
+                        !grid.schemes.empty(),
+                    "empty sweep grid");
+  SweepResult result(grid.profiles.size(), grid.machines.size(),
+                     grid.schemes.size());
+
+  std::optional<ResultCache> cache;
+  if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
+
+  const std::size_t num_jobs = grid.profiles.size() * grid.machines.size();
+  std::atomic<std::size_t> simulated{0};
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> jobs_done{0};
+  std::mutex progress_mutex;
+
+  // One job = all schemes of one (trace, machine) cell: the schemes share
+  // the job's TraceExperiment (workload generation + trace replay dominate
+  // point cost), and each run() re-annotates from scratch so evaluating any
+  // subset of schemes yields the same bits as evaluating all of them.
+  auto run_job = [&](std::size_t t, std::size_t m) {
+    workload::WorkloadProfile profile = grid.profiles[t];
+    profile.seed_salt += opt.seed_salt;
+    const MachineConfig& machine = grid.machines[m];
+
+    std::vector<std::size_t> missing;
+    std::vector<std::string> keys(grid.schemes.size());
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      const SweepScheme& scheme = grid.schemes[s];
+      if (cache) {
+        keys[s] = cache_key(profile, machine, scheme.spec, grid.budget,
+                            scheme.custom_tag);
+        if (cache->load(keys[s], &result.slot(t, m, s))) {
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      missing.push_back(s);
+    }
+
+    if (!missing.empty()) {
+      harness::TraceExperiment experiment(profile, machine, grid.budget);
+      for (const std::size_t s : missing) {
+        const SweepScheme& scheme = grid.schemes[s];
+        harness::RunResult& out = result.slot(t, m, s);
+        if (scheme.make_policy) {
+          const auto policy = scheme.make_policy(machine);
+          VCSTEER_CHECK_MSG(policy != nullptr, "custom factory returned null");
+          out = experiment.run(*policy, scheme.custom_tag);
+        } else {
+          out = experiment.run(scheme.spec);
+        }
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        if (cache) cache->store(keys[s], out);
+      }
+    }
+
+    const std::size_t done = jobs_done.fetch_add(1) + 1;
+    if (opt.progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      opt.progress(done, num_jobs);
+    }
+  };
+
+  if (opt.jobs <= 1) {
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      for (std::size_t m = 0; m < grid.machines.size(); ++m) run_job(t, m);
+    }
+  } else {
+    // No point keeping more workers than jobs exist.
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(opt.jobs, num_jobs)));
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_jobs);
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+        futures.push_back(pool.submit([&run_job, t, m] { run_job(t, m); }));
+      }
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  result.simulated = simulated.load();
+  result.cache_hits = cache_hits.load();
+  return result;
+}
+
+}  // namespace vcsteer::exec

@@ -1,0 +1,102 @@
+// Deterministic sharded execution of an experiment grid.
+//
+// A sweep is the cross product (traces x machines x schemes) every figure
+// bench iterates. run_sweep() shards it into one job per (trace, machine)
+// pair — the granularity at which TraceExperiment amortises workload
+// generation and trace materialisation — and runs the jobs on a ThreadPool.
+// Each job owns its TraceExperiment and every RNG it touches is seeded from
+// the profile itself, so results are bit-identical no matter how many
+// workers run or in which order jobs finish: `--jobs 8` reproduces
+// `--jobs 1` exactly. Results land in pre-sized slots indexed by grid
+// position, never by completion order.
+//
+// With a ResultCache attached, each point is probed before simulating and
+// stored after; a job whose points are all cached never constructs its
+// TraceExperiment, which is what makes warm re-runs of a full figure sweep
+// near-instant.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "exec/cache.hpp"
+#include "harness/experiment.hpp"
+#include "steer/policy.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer::exec {
+
+/// One scheme-axis entry. Either a built-in SchemeSpec, or — when
+/// `make_policy` is set — a caller-constructed hardware policy (no software
+/// pass), labelled and cache-keyed by `custom_tag`, which must encode every
+/// parameter of the custom policy.
+struct SweepScheme {
+  harness::SchemeSpec spec;
+  std::string custom_tag;
+  std::function<std::unique_ptr<steer::SteeringPolicy>(const MachineConfig&)>
+      make_policy;
+
+  SweepScheme() = default;
+  SweepScheme(harness::SchemeSpec s) : spec(s) {}  // NOLINT(google-explicit-constructor)
+  SweepScheme(std::string tag,
+              std::function<std::unique_ptr<steer::SteeringPolicy>(
+                  const MachineConfig&)> factory)
+      : custom_tag(std::move(tag)), make_policy(std::move(factory)) {}
+};
+
+struct SweepGrid {
+  std::vector<workload::WorkloadProfile> profiles;
+  std::vector<MachineConfig> machines;
+  std::vector<SweepScheme> schemes;
+  harness::SimBudget budget;
+};
+
+struct SweepOptions {
+  /// Worker threads; 1 runs every job inline on the calling thread.
+  unsigned jobs = 1;
+  /// Result-cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Extra salt added to every profile's seed_salt (--seed): shifts the
+  /// whole sweep to a different deterministic universe.
+  std::uint64_t seed_salt = 0;
+  /// Called after each (trace, machine) job completes, from the worker
+  /// thread (serialised by the runner). done/total count jobs.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+class SweepResult {
+ public:
+  SweepResult(std::size_t traces, std::size_t machines, std::size_t schemes);
+
+  const harness::RunResult& at(std::size_t trace, std::size_t machine,
+                               std::size_t scheme) const;
+  /// at(trace, 0, scheme) — the common single-machine grid.
+  const harness::RunResult& at(std::size_t trace, std::size_t scheme) const {
+    return at(trace, 0, scheme);
+  }
+
+  std::size_t num_traces() const { return traces_; }
+  std::size_t num_machines() const { return machines_; }
+  std::size_t num_schemes() const { return schemes_; }
+  std::size_t num_points() const { return points_.size(); }
+  const std::vector<harness::RunResult>& points() const { return points_; }
+
+  /// Points actually simulated / served from the cache in this run.
+  std::size_t simulated = 0;
+  std::size_t cache_hits = 0;
+
+ private:
+  friend SweepResult run_sweep(const SweepGrid&, const SweepOptions&);
+  harness::RunResult& slot(std::size_t t, std::size_t m, std::size_t s);
+
+  std::size_t traces_, machines_, schemes_;
+  std::vector<harness::RunResult> points_;
+};
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt);
+
+}  // namespace vcsteer::exec

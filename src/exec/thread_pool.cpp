@@ -1,0 +1,53 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vcsteer::exec {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+unsigned ThreadPool::default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace vcsteer::exec

@@ -1,0 +1,52 @@
+// Fixed-size worker pool behind a mutex-protected task queue.
+//
+// The experiment grid is embarrassingly parallel and every job is seconds of
+// CPU-bound simulation, so a simple shared queue is the right tool: there is
+// no contention worth stealing work over, and a deterministic submission
+// order keeps the pool trivial to reason about. Tasks are type-erased
+// thunks; results travel through the promise/future pair of submit() or, for
+// the sweep, through pre-sized result slots each job writes exclusively.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcsteer::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains the queue: blocks until every submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. The future becomes ready when the task returns (or
+  /// rethrows the task's exception from get()).
+  std::future<void> submit(std::function<void()> task);
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0).
+  static unsigned default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vcsteer::exec

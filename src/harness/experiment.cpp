@@ -98,17 +98,28 @@ TraceExperiment::TraceExperiment(const workload::WorkloadProfile& profile,
 RunResult TraceExperiment::run(const SchemeSpec& spec) {
   annotate_for_scheme(wl_.program, spec, machine_);
   const auto policy = policy_for_scheme(spec, machine_);
+  return run_annotated(*policy, spec.label(machine_));
+}
 
+RunResult TraceExperiment::run(steer::SteeringPolicy& policy,
+                               const std::string& label) {
+  wl_.program.clear_hints();
+  return run_annotated(policy, label);
+}
+
+RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
+                                         std::string label) {
   RunResult result;
   result.trace = wl_.profile.name;
-  result.scheme = spec.label(machine_);
+  result.scheme = std::move(label);
+  result.num_points = points_.size();
 
   sim::ClusteredCore core(machine_, wl_.program);
   double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
          w_policy = 0.0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const double w = points_[i].weight;
-    const sim::SimStats stats = core.run(intervals_[i], *policy, warm_addrs_[i]);
+    const sim::SimStats stats = core.run(intervals_[i], policy, warm_addrs_[i]);
     w_cycles += w * static_cast<double>(stats.cycles);
     w_uops += w * static_cast<double>(stats.committed_uops);
     w_copies += w * static_cast<double>(stats.copies_generated);

@@ -57,6 +57,7 @@ struct RunResult {
   double policy_stalls_per_kuop = 0.0;
   std::uint64_t committed_uops = 0;  ///< total over simulated intervals.
   std::uint64_t cycles = 0;          ///< total over simulated intervals.
+  std::uint64_t num_points = 0;      ///< simulation points aggregated.
   sim::SimStats last_interval;       ///< stats of the final interval (diagnostics).
 };
 
@@ -69,11 +70,20 @@ class TraceExperiment {
   /// all simulation points, aggregates with PinPoints weights).
   RunResult run(const SchemeSpec& spec);
 
+  /// Evaluate a caller-constructed hardware policy (no software pass; any
+  /// previous hints are cleared). `label` becomes RunResult::scheme. Used by
+  /// exec::SweepRunner for policies a SchemeSpec cannot describe (MOD-N,
+  /// user policies from examples).
+  RunResult run(steer::SteeringPolicy& policy, const std::string& label);
+
   const workload::GeneratedWorkload& workload() const { return wl_; }
   const std::vector<workload::SimPoint>& simpoints() const { return points_; }
   const MachineConfig& machine() const { return machine_; }
 
  private:
+  /// Weighted simulation of all points under an already-annotated program.
+  RunResult run_annotated(steer::SteeringPolicy& policy, std::string label);
+
   MachineConfig machine_;
   SimBudget budget_;
   workload::GeneratedWorkload wl_;

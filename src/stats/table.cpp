@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/check.hpp"
 
@@ -27,22 +28,33 @@ Table& Table::row() {
 Table& Table::add(std::string value) {
   VCSTEER_CHECK_MSG(!rows_.empty(), "add() before row()");
   VCSTEER_CHECK_MSG(rows_.back().size() < columns_.size(), "row overflow");
-  rows_.back().push_back(std::move(value));
+  rows_.back().push_back(Cell{std::move(value), std::monostate{}});
   return *this;
 }
 
 Table& Table::add(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-  return add(std::string(buf));
+  add(std::string(buf));
+  rows_.back().back().value = value;
+  return *this;
 }
 
-Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
-Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::uint64_t value) {
+  add(std::to_string(value));
+  rows_.back().back().value = value;
+  return *this;
+}
+
+Table& Table::add(std::int64_t value) {
+  add(std::to_string(value));
+  rows_.back().back().value = value;
+  return *this;
+}
 
 const std::string& Table::cell(std::size_t row, std::size_t col) const {
   VCSTEER_CHECK(row < rows_.size() && col < rows_[row].size());
-  return rows_[row][col];
+  return rows_[row][col].text;
 }
 
 std::string Table::to_text() const {
@@ -52,24 +64,26 @@ std::string Table::to_text() const {
   }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      widths[c] = std::max(widths[c], row[c].size());
+      widths[c] = std::max(widths[c], row[c].text.size());
     }
   }
   std::ostringstream os;
   os << "== " << title_ << " ==\n";
-  auto emit_row = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < columns_.size(); ++c) {
-      const std::string& v = c < cells.size() ? cells[c] : "";
-      os << (c == 0 ? "" : "  ");
-      os << v << std::string(widths[c] - v.size(), ' ');
-    }
-    os << '\n';
+  auto emit_cell = [&](std::size_t c, const std::string& v) {
+    os << (c == 0 ? "" : "  ");
+    os << v << std::string(widths[c] - v.size(), ' ');
   };
-  emit_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) emit_cell(c, columns_[c]);
+  os << '\n';
   std::size_t total = columns_.empty() ? 0 : 2 * (columns_.size() - 1);
   for (const std::size_t w : widths) total += w;
   os << std::string(total, '-') << '\n';
-  for (const auto& row : rows_) emit_row(row);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      emit_cell(c, c < row.size() ? row[c].text : "");
+    }
+    os << '\n';
+  }
   return os.str();
 }
 
@@ -83,7 +97,7 @@ std::string Table::to_markdown() const {
   for (const auto& row : rows_) {
     os << '|';
     for (std::size_t c = 0; c < columns_.size(); ++c) {
-      os << ' ' << (c < row.size() ? row[c] : "") << " |";
+      os << ' ' << (c < row.size() ? row[c].text : "") << " |";
     }
     os << '\n';
   }
@@ -92,19 +106,86 @@ std::string Table::to_markdown() const {
 
 std::string Table::to_csv() const {
   std::ostringstream os;
-  auto emit = [&](const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << columns_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
     for (std::size_t c = 0; c < columns_.size(); ++c) {
       if (c) os << ',';
-      os << (c < cells.size() ? cells[c] : "");
+      if (c < row.size()) os << row[c].text;
     }
     os << '\n';
-  };
-  emit(columns_);
-  for (const auto& row : rows_) emit(row);
+  }
   return os.str();
 }
 
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Table::to_json() const {
+  std::string out = "{\"title\":";
+  out += json_quote(title_);
+  out += ",\"columns\":[";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out.push_back(',');
+    out += json_quote(columns_[c]);
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out.push_back(',');
+    out.push_back('[');
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) out.push_back(',');
+      const Cell& cell = rows_[r][c];
+      if (const double* d = std::get_if<double>(&cell.value)) {
+        if (std::isfinite(*d)) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.17g", *d);
+          out += buf;
+        } else {
+          out += "null";  // JSON has no NaN/Inf.
+        }
+      } else if (const auto* u = std::get_if<std::uint64_t>(&cell.value)) {
+        out += std::to_string(*u);
+      } else if (const auto* i = std::get_if<std::int64_t>(&cell.value)) {
+        out += std::to_string(*i);
+      } else {
+        out += json_quote(cell.text);
+      }
+    }
+    out.push_back(']');
+  }
+  out += "]}";
+  return out;
+}
+
 void Table::print(std::ostream& os) const { os << to_text(); }
+
+void Table::print_json(std::ostream& os) const { os << to_json() << '\n'; }
 
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -37,15 +38,33 @@ class Table {
   std::string to_text() const;      ///< aligned, boxed console rendering.
   std::string to_markdown() const;
   std::string to_csv() const;
+  /// {"title":..., "columns":[...], "rows":[[...]]}. Numeric cells are
+  /// emitted as JSON numbers at full double precision (%.17g), not as the
+  /// rounded strings the text renderers show; non-finite values become null.
+  std::string to_json() const;
 
   /// Convenience: to_text() to the stream.
   void print(std::ostream& os) const;
+  /// to_json() to the stream, newline-terminated.
+  void print_json(std::ostream& os) const;
 
  private:
+  /// A cell keeps the raw value next to the display string so text/CSV
+  /// render exactly as before while JSON keeps full precision. The
+  /// monostate alternative marks string cells (the text *is* the value).
+  struct Cell {
+    std::string text;
+    std::variant<std::monostate, double, std::uint64_t, std::int64_t> value;
+  };
+
   std::string title_;
   std::vector<std::string> columns_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<Cell>> rows_;
 };
+
+/// JSON string literal (quoted, with quotes/backslash/control escaping).
+/// Shared by Table::to_json and the exec-layer JSON emitters.
+std::string json_quote(std::string_view s);
 
 /// Arithmetic mean; 0 for empty input.
 double mean(const std::vector<double>& xs);

@@ -1,0 +1,374 @@
+// Tests for the parallel experiment-execution engine: thread-pool
+// correctness under load, bit-identical parallel vs serial sweeps, cache
+// round-trips, and cache invalidation when any configuration field changes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/cache.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "steer/mod_policy.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer::exec {
+namespace {
+
+// ---------------------------------------------------------------- helpers ---
+
+/// Unique scratch directory, removed on destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "vcsteer_exec_test_XXXXXX")
+            .string();
+    path_ = mkdtemp(tmpl.data());
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void expect_stats_equal(const sim::SimStats& a, const sim::SimStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.committed_uops, b.committed_uops);
+  EXPECT_EQ(a.dispatched_uops, b.dispatched_uops);
+  EXPECT_EQ(a.copies_generated, b.copies_generated);
+  EXPECT_EQ(a.alloc_stalls, b.alloc_stalls);
+  EXPECT_EQ(a.policy_stalls, b.policy_stalls);
+  EXPECT_EQ(a.rob_stalls, b.rob_stalls);
+  EXPECT_EQ(a.lsq_stalls, b.lsq_stalls);
+  EXPECT_EQ(a.copyq_stalls, b.copyq_stalls);
+  EXPECT_EQ(a.copy_bandwidth_stalls, b.copy_bandwidth_stalls);
+  EXPECT_EQ(a.regfile_stalls, b.regfile_stalls);
+  EXPECT_EQ(a.frontend_empty, b.frontend_empty);
+  EXPECT_EQ(a.dispatched_to, b.dispatched_to);
+  EXPECT_EQ(a.occupancy_sum, b.occupancy_sum);
+  EXPECT_EQ(a.memory.loads, b.memory.loads);
+  EXPECT_EQ(a.memory.stores, b.memory.stores);
+  EXPECT_EQ(a.memory.l1_hits, b.memory.l1_hits);
+  EXPECT_EQ(a.memory.l1_misses, b.memory.l1_misses);
+  EXPECT_EQ(a.memory.l2_hits, b.memory.l2_hits);
+  EXPECT_EQ(a.memory.l2_misses, b.memory.l2_misses);
+  EXPECT_EQ(a.memory.port_wait_cycles, b.memory.port_wait_cycles);
+}
+
+/// Exact (bit-level for doubles) equality — the determinism contract.
+void expect_results_equal(const harness::RunResult& a,
+                          const harness::RunResult& b) {
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.copies_per_kuop, b.copies_per_kuop);
+  EXPECT_EQ(a.alloc_stalls_per_kuop, b.alloc_stalls_per_kuop);
+  EXPECT_EQ(a.policy_stalls_per_kuop, b.policy_stalls_per_kuop);
+  EXPECT_EQ(a.committed_uops, b.committed_uops);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.num_points, b.num_points);
+  expect_stats_equal(a.last_interval, b.last_interval);
+}
+
+/// Tiny but real grid: 2 traces x 1 machine x 3 schemes (one custom).
+SweepGrid small_grid() {
+  SweepGrid grid;
+  const auto profiles = workload::smoke_profiles();
+  grid.profiles.assign(profiles.begin(), profiles.begin() + 2);
+  grid.machines = {MachineConfig::two_cluster()};
+  grid.schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 2},
+  };
+  grid.schemes.emplace_back("MOD3", [](const MachineConfig&) {
+    return std::make_unique<steer::ModNPolicy>(3);
+  });
+  grid.budget = harness::SimBudget::smoke();
+  return grid;
+}
+
+// -------------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPool, RunsEveryTaskUnderLoad) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    std::vector<std::future<void>> futures;
+    futures.reserve(5000);
+    for (int i = 0; i < 5000; ++i) {
+      futures.push_back(pool.submit([&count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(count.load(), 5000);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No explicit wait: ~ThreadPool must run everything already queued.
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsReachTheFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  auto ok = pool.submit([] {});
+  ok.get();
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+// ------------------------------------------------------------- determinism ---
+
+TEST(Sweep, ParallelBitIdenticalToSerial) {
+  const SweepGrid grid = small_grid();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+
+  const SweepResult a = run_sweep(grid, serial);
+  const SweepResult b = run_sweep(grid, parallel);
+  ASSERT_EQ(a.num_points(), b.num_points());
+  EXPECT_EQ(a.simulated, a.num_points());
+  EXPECT_EQ(b.simulated, b.num_points());
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      expect_results_equal(a.at(t, s), b.at(t, s));
+    }
+  }
+}
+
+TEST(Sweep, SeedSaltShiftsResults) {
+  SweepGrid grid = small_grid();
+  grid.schemes.resize(1);
+  SweepOptions opt;
+  SweepOptions salted;
+  salted.seed_salt = 1;
+  const SweepResult a = run_sweep(grid, opt);
+  const SweepResult b = run_sweep(grid, salted);
+  EXPECT_NE(a.at(0, 0).cycles, b.at(0, 0).cycles);
+}
+
+TEST(Sweep, ResultsIndexedByGridPosition) {
+  const SweepGrid grid = small_grid();
+  SweepOptions opt;
+  opt.jobs = 4;
+  const SweepResult result = run_sweep(grid, opt);
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      EXPECT_EQ(result.at(t, s).trace, grid.profiles[t].name);
+    }
+  }
+  EXPECT_EQ(result.at(0, 0).scheme, "OP");
+  EXPECT_EQ(result.at(0, 1).scheme, "VC(2->2)");
+  EXPECT_EQ(result.at(0, 2).scheme, "MOD3");
+}
+
+TEST(Sweep, ProgressReportsEveryJob) {
+  SweepGrid grid = small_grid();
+  grid.schemes.resize(1);
+  std::size_t calls = 0, last_done = 0, last_total = 0;
+  SweepOptions opt;
+  opt.jobs = 4;
+  opt.progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    last_done = done;
+    last_total = total;
+  };
+  run_sweep(grid, opt);
+  EXPECT_EQ(calls, grid.profiles.size());
+  EXPECT_EQ(last_done, grid.profiles.size());
+  EXPECT_EQ(last_total, grid.profiles.size());
+}
+
+// ------------------------------------------------------------------ cache ---
+
+TEST(ResultCache, RoundTripsExactly) {
+  ScratchDir dir;
+  ResultCache cache(dir.path() + "/cache");
+
+  harness::RunResult r;
+  r.trace = "trace-x";
+  r.scheme = "VC(2->2)";
+  r.ipc = 1.0 / 3.0;  // not representable in decimal: %.17g must round-trip
+  r.copies_per_kuop = 1e-17;
+  r.alloc_stalls_per_kuop = 123.456789012345678;
+  r.policy_stalls_per_kuop = 0.1 + 0.2;
+  r.committed_uops = 123456789;
+  r.cycles = 987654321;
+  r.num_points = 3;
+  r.last_interval.cycles = 42;
+  r.last_interval.memory.l2_misses = 7;
+  r.last_interval.dispatched_to[3] = 11;
+
+  const std::string key = "k1=v1\nk2=v2\n";
+  harness::RunResult loaded;
+  EXPECT_FALSE(cache.load(key, &loaded));
+  cache.store(key, r);
+  ASSERT_TRUE(cache.load(key, &loaded));
+  expect_results_equal(r, loaded);
+}
+
+TEST(ResultCache, KeyMismatchIsAMiss) {
+  ScratchDir dir;
+  ResultCache cache(dir.path() + "/cache");
+  harness::RunResult r;
+  r.trace = "t";
+  cache.store("key-a\n", r);
+  harness::RunResult loaded;
+  EXPECT_FALSE(cache.load("key-b\n", &loaded));
+}
+
+TEST(CacheKey, SensitiveToEveryAxis) {
+  const workload::WorkloadProfile profile = workload::smoke_profiles()[0];
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SchemeSpec spec{steer::Scheme::kVc, 2};
+  const harness::SimBudget budget;
+  const std::string base = cache_key(profile, machine, spec, budget);
+
+  // Stable across calls.
+  EXPECT_EQ(base, cache_key(profile, machine, spec, budget));
+
+  {
+    workload::WorkloadProfile p2 = profile;
+    p2.working_set_kb += 1;
+    EXPECT_NE(base, cache_key(p2, machine, spec, budget));
+  }
+  {
+    workload::WorkloadProfile p2 = profile;
+    p2.seed_salt += 1;
+    EXPECT_NE(base, cache_key(p2, machine, spec, budget));
+  }
+  {
+    MachineConfig m2 = machine;
+    m2.link_latency += 1;
+    EXPECT_NE(base, cache_key(profile, m2, spec, budget));
+  }
+  {
+    MachineConfig m2 = machine;
+    m2.op_occupancy_threshold += 0.01;
+    EXPECT_NE(base, cache_key(profile, m2, spec, budget));
+  }
+  {
+    harness::SchemeSpec s2 = spec;
+    s2.num_vcs = 4;
+    EXPECT_NE(base, cache_key(profile, machine, s2, budget));
+  }
+  {
+    harness::SimBudget b2 = budget;
+    b2.interval_uops /= 2;
+    EXPECT_NE(base, cache_key(profile, machine, spec, b2));
+  }
+  EXPECT_NE(base, cache_key(profile, machine, spec, budget, "MOD3"));
+}
+
+TEST(Sweep, WarmCacheSkipsAllSimulation) {
+  ScratchDir dir;
+  const SweepGrid grid = small_grid();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir.path() + "/cache";
+
+  const SweepResult cold = run_sweep(grid, opt);
+  EXPECT_EQ(cold.simulated, cold.num_points());
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  const SweepResult warm = run_sweep(grid, opt);
+  EXPECT_EQ(warm.simulated, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.num_points());
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      expect_results_equal(cold.at(t, s), warm.at(t, s));
+    }
+  }
+}
+
+TEST(Sweep, ChangedConfigMissesCache) {
+  ScratchDir dir;
+  SweepGrid grid = small_grid();
+  grid.schemes.resize(1);
+  SweepOptions opt;
+  opt.cache_dir = dir.path() + "/cache";
+
+  const SweepResult cold = run_sweep(grid, opt);
+  EXPECT_EQ(cold.simulated, cold.num_points());
+
+  // A machine change invalidates every point...
+  SweepGrid changed = grid;
+  changed.machines[0].link_latency += 1;
+  const SweepResult miss = run_sweep(changed, opt);
+  EXPECT_EQ(miss.simulated, miss.num_points());
+  EXPECT_EQ(miss.cache_hits, 0u);
+
+  // ...while the unchanged grid still hits, and a budget change misses again.
+  const SweepResult warm = run_sweep(grid, opt);
+  EXPECT_EQ(warm.cache_hits, warm.num_points());
+  SweepGrid rebudget = grid;
+  rebudget.budget.interval_uops /= 2;
+  const SweepResult miss2 = run_sweep(rebudget, opt);
+  EXPECT_EQ(miss2.cache_hits, 0u);
+}
+
+TEST(Sweep, PartialCacheSimulatesOnlyMissing) {
+  ScratchDir dir;
+  SweepGrid grid = small_grid();
+  grid.schemes.resize(1);
+  SweepOptions opt;
+  opt.cache_dir = dir.path() + "/cache";
+  run_sweep(grid, opt);
+
+  // Add a second scheme: the OP points hit, the new points simulate.
+  grid.schemes.push_back(harness::SchemeSpec{steer::Scheme::kVc, 2});
+  const SweepResult mixed = run_sweep(grid, opt);
+  EXPECT_EQ(mixed.cache_hits, grid.profiles.size());
+  EXPECT_EQ(mixed.simulated, grid.profiles.size());
+}
+
+// ------------------------------------------------------------- ResultSink ---
+
+TEST(ResultSink, JsonCarriesResultsAndTables) {
+  const SweepGrid grid = small_grid();
+  SweepOptions opt;
+  const SweepResult sweep = run_sweep(grid, opt);
+
+  ResultSink sink("exec_test");
+  sink.add_sweep(sweep);
+  stats::Table table = sink.raw_table("raw");
+  EXPECT_EQ(table.num_rows(), sweep.num_points());
+  sink.add_table(table);
+
+  std::ostringstream os;
+  sink.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"bench\":\"exec_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\":["), std::string::npos);
+  EXPECT_NE(json.find("\"tables\":[{\"title\":\"raw\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\":\"MOD3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcsteer::exec

@@ -108,6 +108,35 @@ TEST(Experiment, RerunSameSchemeIsIdempotent) {
   EXPECT_EQ(first.cycles, second.cycles);
 }
 
+TEST(Experiment, CustomPolicyOverloadMatchesBuiltinPath) {
+  TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
+                             SimBudget::smoke());
+  // kOneCluster needs no annotations, so routing its policy through the
+  // custom-policy overload must reproduce the built-in path exactly.
+  const RunResult builtin = experiment.run({steer::Scheme::kOneCluster, 0});
+  const auto policy =
+      policy_for_scheme({steer::Scheme::kOneCluster, 0},
+                        MachineConfig::two_cluster());
+  const RunResult custom = experiment.run(*policy, "custom-one");
+  EXPECT_EQ(custom.scheme, "custom-one");
+  EXPECT_EQ(custom.trace, builtin.trace);
+  EXPECT_EQ(custom.cycles, builtin.cycles);
+  EXPECT_DOUBLE_EQ(custom.ipc, builtin.ipc);
+  EXPECT_EQ(custom.num_points, builtin.num_points);
+}
+
+TEST(Experiment, CustomPolicyOverloadClearsHints) {
+  TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
+                             SimBudget::smoke());
+  const auto policy = policy_for_scheme({steer::Scheme::kOneCluster, 0},
+                                        MachineConfig::two_cluster());
+  const RunResult clean = experiment.run(*policy, "one");
+  experiment.run({steer::Scheme::kVc, 2});  // leaves VC hints behind
+  const RunResult after = experiment.run(*policy, "one");
+  EXPECT_EQ(clean.cycles, after.cycles);
+  EXPECT_DOUBLE_EQ(clean.ipc, after.ipc);
+}
+
 TEST(Experiment, OneClusterUsesOnlyClusterZero) {
   TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
                              SimBudget::smoke());

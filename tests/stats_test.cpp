@@ -2,6 +2,10 @@
 // every figure bench.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
 #include "stats/table.hpp"
 
 namespace vcsteer::stats {
@@ -53,6 +57,66 @@ TEST(Table, CsvRoundTrip) {
   t.set_columns({"a", "b", "c"});
   t.row().add("x").add("y").add("z");
   EXPECT_EQ(t.to_csv(), "a,b,c\nx,y,z\n");
+}
+
+TEST(Table, JsonKeepsFullPrecision) {
+  Table t("json");
+  t.set_columns({"name", "v", "n"});
+  // Displayed at 2 digits, exported at full precision.
+  t.row().add("pi").add(3.14159265358979312, 2).add(std::uint64_t{7});
+  EXPECT_EQ(t.cell(0, 1), "3.14");
+  const std::string json = t.to_json();
+  EXPECT_EQ(json,
+            "{\"title\":\"json\",\"columns\":[\"name\",\"v\",\"n\"],"
+            "\"rows\":[[\"pi\",3.1415926535897931,7]]}");
+}
+
+TEST(Table, JsonRoundTripsExactDoubles) {
+  Table t("rt");
+  t.set_columns({"v"});
+  const double value = 1.0 / 3.0;
+  t.row().add(value, 2);
+  const std::string json = t.to_json();
+  // The %.17g rendering parses back to the identical double.
+  const std::size_t start = json.find("[[") + 2;
+  const double parsed = std::strtod(json.c_str() + start, nullptr);
+  EXPECT_EQ(parsed, value);
+}
+
+TEST(Table, JsonEscapesStrings) {
+  Table t("quote \" backslash \\ newline \n");
+  t.set_columns({"c"});
+  t.row().add("a\"b\\c\td");
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n"),
+            std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\td"), std::string::npos);
+}
+
+TEST(Table, JsonNonFiniteBecomesNull) {
+  Table t("nan");
+  t.set_columns({"v", "w"});
+  t.row()
+      .add(std::numeric_limits<double>::quiet_NaN(), 2)
+      .add(std::numeric_limits<double>::infinity(), 2);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("[null,null]"), std::string::npos);
+}
+
+TEST(Table, PrintJsonWritesToStream) {
+  Table t("stream");
+  t.set_columns({"a"});
+  t.row().add(std::int64_t{-3});
+  std::ostringstream os;
+  t.print_json(os);
+  EXPECT_EQ(os.str(), t.to_json() + "\n");
+  EXPECT_NE(os.str().find("[[-3]]"), std::string::npos);
+}
+
+TEST(JsonQuote, EscapesControlCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
 }
 
 TEST(Table, RowOverflowAborts) {
