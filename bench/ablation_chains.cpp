@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table table(
       "VC chain-granularity sweep (2 clusters, 2 VCs): min chain size for a "
       "leader mark");
@@ -53,8 +57,6 @@ int main(int argc, char** argv) {
         .add(alloc / n, 1);
   }
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(table);
   return out.finish();
 }

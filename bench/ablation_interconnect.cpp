@@ -1,10 +1,16 @@
-// Ablation: inter-cluster link latency sweep (design-space check called out
-// in DESIGN.md). Table 2 fixes the link at 1 cycle; this sweep shows how
-// the schemes separate as communication gets more expensive — copy-heavy
-// schemes degrade faster, stall-over-steer (OP) and chain locality (VC)
-// degrade slowest.
+// Ablation: interconnect topology x cluster count x steering scheme.
 //
-// Usage: ablation_interconnect [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Table 2 fixes the copy fabric at an ideal 1-cycle point-to-point link;
+// this sweep replaces it with contention-modeled topologies (shared bus,
+// unidirectional ring, per-pair crossbar — see src/sim/interconnect.hpp)
+// on the 2- and 4-cluster machines, plus the classic link-latency sweep on
+// the ideal fabric. Copy-heavy schemes degrade fastest as the fabric gets
+// slower or narrower; the ring separates further on 4 clusters where hop
+// counts become non-uniform.
+//
+// Usage: ablation_interconnect [--jobs N] [--smoke] [--shard i/n]
+//                              [--cache-dir D] [--json F] [--csv]
+#include <utility>
 #include <vector>
 
 #include "bench_main.hpp"
@@ -16,16 +22,32 @@ int main(int argc, char** argv) {
   const bench::Options opt =
       bench::parse_args(argc, argv, "ablation_interconnect");
 
-  const std::vector<std::uint32_t> link_latencies = {1, 2, 4, 8};
+  const std::vector<Topology> topologies = {Topology::kIdeal, Topology::kBus,
+                                            Topology::kRing,
+                                            Topology::kCrossbar};
+  const std::vector<std::uint32_t> cluster_counts = {2, 4};
+  // The 1-cycle point of the latency sweep *is* the 2-cluster ideal machine
+  // of the topology block (grid index 0); only the slower links are added.
+  const std::vector<std::uint32_t> link_latencies = {2, 4, 8};
 
-  // One machine per link latency: the (trace x machine x scheme) grid covers
-  // the whole sweep in one deterministic pass.
+  // Machine axis, in grid order: first topology x cluster-count at the
+  // Table 2 link (1 cycle, 1 copy/link/cycle), then the link-latency sweep
+  // on the ideal fabric (the pre-topology ablation, unchanged).
   exec::SweepGrid grid;
   const auto profiles = workload::smoke_profiles();
   grid.profiles.assign(profiles.begin(), profiles.end());
+  for (const std::uint32_t clusters : cluster_counts) {
+    for (const Topology topo : topologies) {
+      MachineConfig machine = clusters == 2 ? MachineConfig::two_cluster()
+                                            : MachineConfig::four_cluster();
+      machine.interconnect.kind = topo;
+      grid.machines.push_back(machine);
+    }
+  }
+  const std::size_t latency_base = grid.machines.size();
   for (const std::uint32_t link : link_latencies) {
     MachineConfig machine = MachineConfig::two_cluster();
-    machine.link_latency = link;
+    machine.interconnect.link_latency = link;
     grid.machines.push_back(machine);
   }
   grid.schemes = {
@@ -38,25 +60,58 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
-  stats::Table table(
-      "Link-latency sweep, 2 clusters: avg slowdown vs OP@1cycle (%)");
-  table.set_columns({"link cycles", "OP", "OB", "RHOP", "VC"});
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   const auto n = static_cast<double>(grid.profiles.size());
-  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
-    table.row().add(std::uint64_t{link_latencies[m]});
+  const auto num_topos = topologies.size();
+  for (std::size_t ci = 0; ci < cluster_counts.size(); ++ci) {
+    stats::Table table("Interconnect topology sweep, " +
+                       std::to_string(cluster_counts[ci]) +
+                       " clusters: avg slowdown vs ideal@OP (%), and avg "
+                       "copy-link contention (cycles/kuop)");
+    table.set_columns(
+        {"topology", "OP", "OB", "RHOP", "VC", "contention/kuop"});
+    for (std::size_t ti = 0; ti < num_topos; ++ti) {
+      const std::size_t m = ci * num_topos + ti;
+      table.row().add(std::string(topology_name(topologies[ti])));
+      double contention = 0;
+      for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+        double sum = 0;
+        for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+          // Baseline: OP on this cluster count's ideal-fabric machine.
+          sum += stats::slowdown_pct(sweep.at(t, ci * num_topos, 0).ipc,
+                                     sweep.at(t, m, s).ipc);
+          contention += sweep.at(t, m, s).link_contention_per_kuop;
+        }
+        table.add(sum / n, 2);
+      }
+      table.add(contention / (n * static_cast<double>(grid.schemes.size())),
+                2);
+    }
+    out.add(table);
+  }
+
+  stats::Table link_table(
+      "Link-latency sweep, 2 clusters, ideal fabric: avg slowdown vs "
+      "OP@1cycle (%)");
+  link_table.set_columns({"link cycles", "OP", "OB", "RHOP", "VC"});
+  std::vector<std::pair<std::uint32_t, std::size_t>> latency_rows = {{1, 0}};
+  for (std::size_t li = 0; li < link_latencies.size(); ++li) {
+    latency_rows.emplace_back(link_latencies[li], latency_base + li);
+  }
+  for (const auto& [link, m] : latency_rows) {
+    link_table.row().add(std::uint64_t{link});
     for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
       double sum = 0;
       for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
-        // Baseline: OP on the 1-cycle-link machine (machine index 0).
         sum += stats::slowdown_pct(sweep.at(t, 0, 0).ipc,
                                    sweep.at(t, m, s).ipc);
       }
-      table.add(sum / n, 2);
+      link_table.add(sum / n, 2);
     }
   }
-
-  bench::Output out(opt);
-  out.add_sweep(sweep);
-  out.add(table);
+  out.add(link_table);
   return out.finish();
 }

@@ -39,6 +39,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table table(
       "Prior-art hardware heuristics, 2 clusters: slowdown vs OP (%)");
   table.set_columns({"trace", "one-cluster", "MOD1", "MOD3", "MOD8", "VC",
@@ -55,8 +59,6 @@ int main(int argc, char** argv) {
         .add(sweep.at(t, 4).copies_per_kuop, 1);
   }
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(table);
   return out.finish();
 }

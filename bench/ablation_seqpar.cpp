@@ -30,6 +30,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table table(
       "Sequential vs parallel dependence-based steering (2 clusters)");
   table.set_columns({"trace", "seq IPC", "par IPC", "par slowdown (%)",
@@ -61,8 +65,6 @@ int main(int argc, char** argv) {
       {"parallel vs sequential slowdown (%)", "VC vs sequential slowdown (%)"});
   avg_table.row().add(stats::mean(slowdowns), 2).add(stats::mean(vc_slowdowns), 2);
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(table);
   out.add(avg_table);
   return out.finish();

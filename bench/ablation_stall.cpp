@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table table(
       "OP stall-over-steer threshold sweep (2 clusters): avg IPC and stalls");
   table.set_columns({"threshold", "avg IPC", "policy stalls/kuop",
@@ -54,8 +58,6 @@ int main(int argc, char** argv) {
         .add(copies / n, 1);
   }
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(table);
   return out.finish();
 }

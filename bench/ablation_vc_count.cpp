@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
 
   bench::Output out(opt);
   out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   for (std::size_t m = 0; m < grid.machines.size(); ++m) {
     stats::Table table(
         "VC-count sweep on the " +

@@ -3,13 +3,18 @@
 // Every bench used to hand-roll the same flag loop; they now share one
 // parser and one output path:
 //
-//   bench [--jobs N] [--smoke|--quick] [--seed S] [--cache-dir DIR]
-//         [--json FILE] [--csv]
+//   bench [--jobs N] [--smoke|--quick] [--seed S] [--shard I/N]
+//         [--cache-dir DIR] [--json FILE] [--csv]
 //
 //   --jobs N       worker threads for the sweep (default: all cores).
 //                  Results are bit-identical for every N (see src/exec/).
 //   --smoke        smoke budget + reduced trace set (alias: --quick).
 //   --seed S       extra salt mixed into every workload seed.
+//   --shard I/N    run only this process's 1/N of the job list (0 <= I < N).
+//                  Launch N processes sharing --cache-dir to split a sweep
+//                  across them, then one unsharded run to assemble the
+//                  tables from the warm cache. Sharded runs skip the
+//                  derived tables (their grid is incomplete by design).
 //   --cache-dir D  on-disk result cache; warm re-runs skip simulation.
 //   --json FILE    write raw results + all tables as one JSON document.
 //   --csv          print tables as CSV instead of aligned text.
@@ -44,6 +49,8 @@ struct Options {
   bool smoke = false;
   bool csv = false;
   std::uint64_t seed = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
   std::string cache_dir;
   std::string json_path;
 
@@ -51,12 +58,17 @@ struct Options {
     return smoke ? harness::SimBudget::smoke() : harness::SimBudget{};
   }
 
+  /// Derived tables need the whole grid; a shard only computes its slice.
+  bool tables_enabled() const { return shard_count == 1; }
+
   /// Sweep options with a stderr dot per finished (trace, machine) job.
   exec::SweepOptions sweep_options() const {
     exec::SweepOptions opt;
     opt.jobs = jobs;
     opt.cache_dir = cache_dir;
     opt.seed_salt = seed;
+    opt.shard_index = shard_index;
+    opt.shard_count = shard_count;
     opt.progress = [](std::size_t done, std::size_t total) {
       std::fputc('.', stderr);
       if (done == total) std::fputc('\n', stderr);
@@ -68,7 +80,8 @@ struct Options {
 [[noreturn]] inline void usage(const std::string& bench_name, int code) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--smoke|--quick] [--seed S]\n"
-               "          [--cache-dir DIR] [--json FILE] [--csv]\n",
+               "          [--shard I/N] [--cache-dir DIR] [--json FILE]"
+               " [--csv]\n",
                bench_name.c_str());
   std::exit(code);
 }
@@ -96,6 +109,24 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
       opt.smoke = true;
     } else if (std::strcmp(arg, "--seed") == 0) {
       opt.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      const char* v = value(i);
+      char* end = nullptr;
+      const unsigned long index = std::strtoul(v, &end, 10);
+      unsigned long count = 0;
+      if (end != v && *end == '/') {
+        const char* count_str = end + 1;
+        count = std::strtoul(count_str, &end, 10);
+        if (end == count_str) count = 0;
+      }
+      if (count == 0 || index >= count || *end != '\0') {
+        std::fprintf(stderr,
+                     "%s: --shard expects I/N with 0 <= I < N, got '%s'\n",
+                     opt.bench_name.c_str(), v);
+        usage(opt.bench_name, 2);
+      }
+      opt.shard_index = static_cast<std::uint32_t>(index);
+      opt.shard_count = static_cast<std::uint32_t>(count);
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       opt.cache_dir = value(i);
     } else if (std::strcmp(arg, "--json") == 0) {
@@ -110,6 +141,14 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
       usage(opt.bench_name, 2);
     }
   }
+  // A sharded run produces no tables; without the shared cache its results
+  // would be simulated and then thrown away.
+  if (opt.shard_count > 1 && opt.cache_dir.empty()) {
+    std::fprintf(stderr, "%s: --shard requires --cache-dir (shards publish"
+                 " their results through the shared cache)\n",
+                 opt.bench_name.c_str());
+    usage(opt.bench_name, 2);
+  }
   return opt;
 }
 
@@ -121,7 +160,13 @@ class Output {
 
   void add_sweep(const exec::SweepResult& sweep) {
     sink_.add_sweep(sweep);
-    if (!opt_.cache_dir.empty()) {
+    if (sweep.skipped > 0) {
+      std::fprintf(stderr,
+                   "%s: %zu points (%zu simulated, %zu cache hits, "
+                   "%zu other-shard)\n",
+                   opt_.bench_name.c_str(), sweep.num_points(),
+                   sweep.simulated, sweep.cache_hits, sweep.skipped);
+    } else if (!opt_.cache_dir.empty()) {
       std::fprintf(stderr, "%s: %zu points (%zu simulated, %zu cache hits)\n",
                    opt_.bench_name.c_str(), sweep.num_points(),
                    sweep.simulated, sweep.cache_hits);

@@ -33,6 +33,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table int_table("Fig 5(a): SPECint 2000 slowdown vs OP, 2 clusters (%)");
   stats::Table fp_table("Fig 5(b): SPECfp 2000 slowdown vs OP, 2 clusters (%)");
   for (auto* t : {&int_table, &fp_table}) {
@@ -65,8 +69,6 @@ int main(int argc, char** argv) {
         .add(stats::mean(all_avg[s]), 2);
   }
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(int_table);
   out.add(fp_table);
   out.add(avg_table);

@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   struct Comparison {
     const char* name;
     std::size_t scheme;  // index into grid.schemes
@@ -100,8 +104,6 @@ int main(int argc, char** argv) {
         .add(std::to_string(c.balance_better) + "/" + std::to_string(c.rows));
   }
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   for (auto& c : comparisons) out.add(c.table);
   out.add(summary);
   return out.finish();

@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table int_table("Fig 7(a): SPECint 2000 slowdown vs OP, 4 clusters (%)");
   stats::Table fp_table("Fig 7(b): SPECfp 2000 slowdown vs OP, 4 clusters (%)");
   for (auto* t : {&int_table, &fp_table}) {
@@ -81,8 +85,6 @@ int main(int argc, char** argv) {
       .add(copies24 / num_traces, 1)
       .add(copies24 > 0 ? (copies44 / copies24 - 1.0) * 100.0 : 0.0, 1);
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(int_table);
   out.add(fp_table);
   out.add(avg_table);

@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
 
   const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 
+  bench::Output out(opt);
+  out.add_sweep(sweep);
+  if (!opt.tables_enabled()) return out.finish();
+
   stats::Table table("SPEC CPU2000 stand-in workloads under OP, 2 clusters");
   table.set_columns({"trace", "suite", "IPC", "L1 miss %", "L2 miss %",
                      "phases", "copies/kuop", "stalls/kuop"});
@@ -43,8 +47,6 @@ int main(int argc, char** argv) {
         .add(r.alloc_stalls_per_kuop + r.policy_stalls_per_kuop, 1);
   }
 
-  bench::Output out(opt);
-  out.add_sweep(sweep);
   out.add(table);
   return out.finish();
 }

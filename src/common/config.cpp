@@ -9,6 +9,16 @@ bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
 }  // namespace
 
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kIdeal: return "ideal";
+    case Topology::kBus: return "bus";
+    case Topology::kRing: return "ring";
+    case Topology::kCrossbar: return "crossbar";
+  }
+  return "?";
+}
+
 MachineConfig MachineConfig::two_cluster() { return MachineConfig{}; }
 
 MachineConfig MachineConfig::four_cluster() {
@@ -20,9 +30,10 @@ MachineConfig MachineConfig::four_cluster() {
 std::string MachineConfig::summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "%u-cluster, %u+%u decode, IQ %u/%u/%u, link %u cycle",
+                "%u-cluster, %u+%u decode, IQ %u/%u/%u, %s link %u cycle",
                 num_clusters, decode_width_int, decode_width_fp,
-                iq_int_entries, iq_fp_entries, iq_copy_entries, link_latency);
+                iq_int_entries, iq_fp_entries, iq_copy_entries,
+                topology_name(interconnect.kind), interconnect.link_latency);
   return buf;
 }
 
@@ -46,6 +57,9 @@ std::string MachineConfig::validate() const {
   }
   if (op_occupancy_threshold <= 0.0 || op_occupancy_threshold > 1.0)
     return "op_occupancy_threshold must be in (0, 1]";
+  if (interconnect.link_latency == 0) return "link_latency must be > 0";
+  if (interconnect.copies_per_link_cycle == 0)
+    return "copies_per_link_cycle must be > 0";
   return "";
 }
 

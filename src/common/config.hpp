@@ -9,6 +9,28 @@
 
 namespace vcsteer {
 
+/// Inter-cluster interconnect topologies. The paper's Table 2 machine uses a
+/// contention-free point-to-point link (kIdeal); the others model the
+/// bandwidth/latency trade-offs a real copy network would impose.
+enum class Topology : std::uint8_t {
+  kIdeal = 0,     ///< point-to-point, unlimited bandwidth (Table 2 model).
+  kBus = 1,       ///< one shared medium; every copy arbitrates for it.
+  kRing = 2,      ///< unidirectional ring; one hop per intermediate cluster.
+  kCrossbar = 3,  ///< dedicated link per (src, dst) pair, finite bandwidth.
+};
+
+const char* topology_name(Topology t);
+
+/// Inter-cluster communication fabric parameters, swept like any other
+/// machine axis (see bench/ablation_interconnect).
+struct TopologyConfig {
+  Topology kind = Topology::kIdeal;
+  std::uint32_t link_latency = 1;           ///< per-hop transit, cycles.
+  /// Copies one link accepts per cycle. kIdeal ignores it (infinite); for
+  /// the other topologies use ~0u to model an unlimited link.
+  std::uint32_t copies_per_link_cycle = 1;
+};
+
 /// Cache geometry + timing for one level of the hierarchy.
 struct CacheConfig {
   std::uint32_t size_bytes = 0;
@@ -45,8 +67,7 @@ struct MachineConfig {
   std::uint32_t regfile_fp = 256;
 
   // --- Inter-cluster communication ---
-  std::uint32_t link_latency = 1;          ///< point-to-point link, cycles.
-  std::uint32_t copies_per_link_cycle = 1; ///< bandwidth of each link.
+  TopologyConfig interconnect;
 
   // --- Memory system ---
   CacheConfig l1d{/*size=*/32 * 1024, /*assoc=*/4, /*line=*/64, /*lat=*/3};

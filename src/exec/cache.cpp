@@ -39,9 +39,14 @@ void write_sim_stats(FieldWriter& w, std::string_view prefix,
   f("copy_bandwidth_stalls", s.copy_bandwidth_stalls);
   f("regfile_stalls", s.regfile_stalls);
   f("frontend_empty", s.frontend_empty);
+  f("copies_routed", s.copies_routed);
+  f("copy_hops", s.copy_hops);
+  f("link_busy_cycles", s.link_busy_cycles);
+  f("link_contention_cycles", s.link_contention_cycles);
   for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
     f("dispatched_to." + std::to_string(c), s.dispatched_to[c]);
     f("occupancy_sum." + std::to_string(c), s.occupancy_sum[c]);
+    f("copyq_occupancy_sum." + std::to_string(c), s.copyq_occupancy_sum[c]);
   }
   f("memory.loads", s.memory.loads);
   f("memory.stores", s.memory.stores);
@@ -100,10 +105,16 @@ bool read_sim_stats(const FieldMap& m, std::string_view prefix,
             f("copyq_stalls", &s->copyq_stalls) &&
             f("copy_bandwidth_stalls", &s->copy_bandwidth_stalls) &&
             f("regfile_stalls", &s->regfile_stalls) &&
-            f("frontend_empty", &s->frontend_empty);
+            f("frontend_empty", &s->frontend_empty) &&
+            f("copies_routed", &s->copies_routed) &&
+            f("copy_hops", &s->copy_hops) &&
+            f("link_busy_cycles", &s->link_busy_cycles) &&
+            f("link_contention_cycles", &s->link_contention_cycles);
   for (std::uint32_t c = 0; ok && c < sim::kMaxClusters; ++c) {
     ok = f("dispatched_to." + std::to_string(c), &s->dispatched_to[c]) &&
-         f("occupancy_sum." + std::to_string(c), &s->occupancy_sum[c]);
+         f("occupancy_sum." + std::to_string(c), &s->occupancy_sum[c]) &&
+         f("copyq_occupancy_sum." + std::to_string(c),
+           &s->copyq_occupancy_sum[c]);
   }
   return ok && f("memory.loads", &s->memory.loads) &&
          f("memory.stores", &s->memory.stores) &&
@@ -141,7 +152,7 @@ std::string cache_key(const workload::WorkloadProfile& p,
                       const harness::SimBudget& budget,
                       std::string_view custom_tag) {
   FieldWriter w;
-  w.field("format", std::uint64_t{1});
+  w.field("format", std::uint64_t{2});  // 2: + topology, interconnect stats
   // Workload profile — every generator input.
   w.field("profile.name", p.name);
   w.field("profile.is_fp", std::uint64_t{p.is_fp});
@@ -182,9 +193,11 @@ std::string cache_key(const workload::WorkloadProfile& p,
   w.field("machine.issue_width_copy", std::uint64_t{m.issue_width_copy});
   w.field("machine.regfile_int", std::uint64_t{m.regfile_int});
   w.field("machine.regfile_fp", std::uint64_t{m.regfile_fp});
-  w.field("machine.link_latency", std::uint64_t{m.link_latency});
+  w.field("machine.link_latency", std::uint64_t{m.interconnect.link_latency});
   w.field("machine.copies_per_link_cycle",
-          std::uint64_t{m.copies_per_link_cycle});
+          std::uint64_t{m.interconnect.copies_per_link_cycle});
+  w.field("machine.topology",
+          std::uint64_t{static_cast<unsigned>(m.interconnect.kind)});
   for (const auto& [tag, cache] :
        {std::pair<const char*, const CacheConfig&>{"l1d", m.l1d},
         std::pair<const char*, const CacheConfig&>{"l2", m.l2}}) {
@@ -250,6 +263,9 @@ bool ResultCache::load(const std::string& key,
       !get_double(fields, "alloc_stalls_per_kuop", &r.alloc_stalls_per_kuop) ||
       !get_double(fields, "policy_stalls_per_kuop",
                   &r.policy_stalls_per_kuop) ||
+      !get_double(fields, "copy_hops_per_kuop", &r.copy_hops_per_kuop) ||
+      !get_double(fields, "link_contention_per_kuop",
+                  &r.link_contention_per_kuop) ||
       !get_u64(fields, "committed_uops", &r.committed_uops) ||
       !get_u64(fields, "cycles", &r.cycles) ||
       !get_u64(fields, "num_points", &r.num_points) ||
@@ -269,6 +285,8 @@ void ResultCache::store(const std::string& key,
   w.field("copies_per_kuop", result.copies_per_kuop);
   w.field("alloc_stalls_per_kuop", result.alloc_stalls_per_kuop);
   w.field("policy_stalls_per_kuop", result.policy_stalls_per_kuop);
+  w.field("copy_hops_per_kuop", result.copy_hops_per_kuop);
+  w.field("link_contention_per_kuop", result.link_contention_per_kuop);
   w.field("committed_uops", result.committed_uops);
   w.field("cycles", result.cycles);
   w.field("num_points", result.num_points);

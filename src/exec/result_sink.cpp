@@ -6,8 +6,12 @@
 namespace vcsteer::exec {
 
 void ResultSink::add_sweep(const SweepResult& sweep) {
-  results_.insert(results_.end(), sweep.points().begin(),
-                  sweep.points().end());
+  for (const harness::RunResult& r : sweep.points()) {
+    // Slots another shard owns stay default-initialised (empty trace);
+    // exporting them would masquerade as real zero-IPC results.
+    if (r.trace.empty()) continue;
+    results_.push_back(r);
+  }
   simulated_ += sweep.simulated;
   cache_hits_ += sweep.cache_hits;
 }
@@ -54,6 +58,8 @@ void ResultSink::write_json(std::ostream& os) const {
        << ",\"copies_per_kuop\":" << num(r.copies_per_kuop)
        << ",\"alloc_stalls_per_kuop\":" << num(r.alloc_stalls_per_kuop)
        << ",\"policy_stalls_per_kuop\":" << num(r.policy_stalls_per_kuop)
+       << ",\"copy_hops_per_kuop\":" << num(r.copy_hops_per_kuop)
+       << ",\"link_contention_per_kuop\":" << num(r.link_contention_per_kuop)
        << ",\"committed_uops\":" << r.committed_uops
        << ",\"cycles\":" << r.cycles << "}";
   }

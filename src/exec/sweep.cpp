@@ -32,13 +32,28 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
   VCSTEER_CHECK_MSG(!grid.profiles.empty() && !grid.machines.empty() &&
                         !grid.schemes.empty(),
                     "empty sweep grid");
+  VCSTEER_CHECK_MSG(opt.shard_count >= 1 && opt.shard_index < opt.shard_count,
+                    "shard_index must be < shard_count");
   SweepResult result(grid.profiles.size(), grid.machines.size(),
                      grid.schemes.size());
 
   std::optional<ResultCache> cache;
   if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
 
-  const std::size_t num_jobs = grid.profiles.size() * grid.machines.size();
+  // Shard assignment is a stable modulo over the expanded job list, so the
+  // same (grid, shard_count) always maps a job to the same shard.
+  auto in_shard = [&opt](std::size_t t, std::size_t m,
+                         std::size_t machines) {
+    return (t * machines + m) % opt.shard_count == opt.shard_index;
+  };
+  std::size_t num_jobs = 0;
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+      if (in_shard(t, m, grid.machines.size())) ++num_jobs;
+    }
+  }
+  result.skipped = (grid.profiles.size() * grid.machines.size() - num_jobs) *
+                   grid.schemes.size();
   std::atomic<std::size_t> simulated{0};
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> jobs_done{0};
@@ -92,9 +107,11 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     }
   };
 
-  if (opt.jobs <= 1) {
+  if (opt.jobs <= 1 || num_jobs <= 1) {
     for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
-      for (std::size_t m = 0; m < grid.machines.size(); ++m) run_job(t, m);
+      for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+        if (in_shard(t, m, grid.machines.size())) run_job(t, m);
+      }
     }
   } else {
     // No point keeping more workers than jobs exist.
@@ -104,6 +121,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     futures.reserve(num_jobs);
     for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
       for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+        if (!in_shard(t, m, grid.machines.size())) continue;
         futures.push_back(pool.submit([&run_job, t, m] { run_job(t, m); }));
       }
     }

@@ -63,8 +63,16 @@ struct SweepOptions {
   /// Extra salt added to every profile's seed_salt (--seed): shifts the
   /// whole sweep to a different deterministic universe.
   std::uint64_t seed_salt = 0;
+  /// Shard selection (--shard i/n): only jobs whose linear index in the
+  /// expanded (trace, machine) job list satisfies `index % shard_count ==
+  /// shard_index` run; the rest are skipped and their result slots stay
+  /// default-initialised. Jobs are deterministic, so n processes with
+  /// shards 0/n..n-1/n and a shared cache_dir partition a sweep exactly;
+  /// a final unsharded run then assembles every point from the cache.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
   /// Called after each (trace, machine) job completes, from the worker
-  /// thread (serialised by the runner). done/total count jobs.
+  /// thread (serialised by the runner). done/total count this shard's jobs.
   std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
@@ -88,6 +96,8 @@ class SweepResult {
   /// Points actually simulated / served from the cache in this run.
   std::size_t simulated = 0;
   std::size_t cache_hits = 0;
+  /// Points left untouched because their job belongs to another shard.
+  std::size_t skipped = 0;
 
  private:
   friend SweepResult run_sweep(const SweepGrid&, const SweepOptions&);

@@ -45,7 +45,7 @@ void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
     case steer::Scheme::kVc: {
       compiler::VcOptions opt;
       opt.num_vcs = spec.num_vcs == 0 ? machine.num_clusters : spec.num_vcs;
-      opt.comm_cost = machine.link_latency + 1.0;
+      opt.comm_cost = machine.interconnect.link_latency + 1.0;
       opt.issue_width = machine.issue_width_int;
       if (spec.vc_min_leader_chain != 0) {
         opt.min_leader_chain = spec.vc_min_leader_chain;
@@ -116,7 +116,7 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
 
   sim::ClusteredCore core(machine_, wl_.program);
   double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
-         w_policy = 0.0;
+         w_policy = 0.0, w_hops = 0.0, w_contention = 0.0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const double w = points_[i].weight;
     const sim::SimStats stats = core.run(intervals_[i], policy, warm_addrs_[i]);
@@ -125,6 +125,8 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
     w_copies += w * static_cast<double>(stats.copies_generated);
     w_alloc += w * static_cast<double>(stats.alloc_stalls);
     w_policy += w * static_cast<double>(stats.policy_stalls);
+    w_hops += w * static_cast<double>(stats.copy_hops);
+    w_contention += w * static_cast<double>(stats.link_contention_cycles);
     result.committed_uops += stats.committed_uops;
     result.cycles += stats.cycles;
     result.last_interval = stats;
@@ -134,6 +136,8 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
   result.copies_per_kuop = 1000.0 * w_copies / w_uops;
   result.alloc_stalls_per_kuop = 1000.0 * w_alloc / w_uops;
   result.policy_stalls_per_kuop = 1000.0 * w_policy / w_uops;
+  result.copy_hops_per_kuop = 1000.0 * w_hops / w_uops;
+  result.link_contention_per_kuop = 1000.0 * w_contention / w_uops;
   return result;
 }
 

@@ -55,6 +55,8 @@ struct RunResult {
   double copies_per_kuop = 0.0;
   double alloc_stalls_per_kuop = 0.0;
   double policy_stalls_per_kuop = 0.0;
+  double copy_hops_per_kuop = 0.0;        ///< interconnect links traversed.
+  double link_contention_per_kuop = 0.0;  ///< cycles copies waited on links.
   std::uint64_t committed_uops = 0;  ///< total over simulated intervals.
   std::uint64_t cycles = 0;          ///< total over simulated intervals.
   std::uint64_t num_points = 0;      ///< simulation points aggregated.

@@ -1,0 +1,34 @@
+// Per-cluster back-end: age-ordered select over the cluster's INT and FP
+// issue queues, fully pipelined functional units (divides block the
+// cluster's single divider), load/store timing against the shared memory
+// hierarchy, and store-to-load forwarding against the commit unit's store
+// records.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/hierarchy.hpp"
+#include "sim/commit.hpp"
+#include "sim/core_state.hpp"
+
+namespace vcsteer::sim {
+
+class ClusterBackend {
+ public:
+  ClusterBackend(CoreState& state, CommitUnit& commit,
+                 mem::MemoryHierarchy& memory, std::uint32_t cluster)
+      : state_(state), commit_(commit), memory_(memory), cluster_(cluster) {}
+
+  /// One cycle of compute-queue issue (INT then FP, issue_width each).
+  void issue();
+
+  std::uint32_t cluster_index() const { return cluster_; }
+
+ private:
+  CoreState& state_;
+  CommitUnit& commit_;
+  mem::MemoryHierarchy& memory_;
+  std::uint32_t cluster_;
+};
+
+}  // namespace vcsteer::sim

@@ -1,0 +1,85 @@
+#include "sim/commit.hpp"
+
+#include "common/check.hpp"
+
+namespace vcsteer::sim {
+
+CommitUnit::CommitUnit(CoreState& state) : state_(state) {
+  rob_.resize(state_.config.rob_int_entries + state_.config.rob_fp_entries);
+}
+
+void CommitUnit::reset() {
+  rob_head_seq_ = 0;
+  next_seq_ = 0;
+  rob_int_used_ = rob_fp_used_ = 0;
+  lsq_used_ = 0;
+  store_records_.clear();
+}
+
+std::uint64_t CommitUnit::allocate(const RobEntry& entry, bool is_mem) {
+  const std::uint64_t seq = next_seq_++;
+  rob_[seq % rob_.size()] = entry;
+  (entry.fp_slot ? rob_fp_used_ : rob_int_used_) += 1;
+  if (is_mem) {
+    ++lsq_used_;
+    if (entry.is_store) {
+      store_records_.push_back(StoreRecord{seq, /*addr=*/0, false});
+    }
+  }
+  return seq;
+}
+
+void CommitUnit::commit() {
+  std::uint32_t int_budget = state_.config.commit_width_int;
+  std::uint32_t fp_budget = state_.config.commit_width_fp;
+  while (rob_int_used_ + rob_fp_used_ > 0) {
+    RobEntry& head = rob_[rob_head_seq_ % rob_.size()];
+    if (!head.completed) break;
+    std::uint32_t& budget = head.fp_slot ? fp_budget : int_budget;
+    if (budget == 0) break;
+    --budget;
+    if (head.fp_slot) {
+      --rob_fp_used_;
+    } else {
+      --rob_int_used_;
+    }
+    if (head.is_store) {
+      VCSTEER_DCHECK(lsq_used_ > 0);
+      --lsq_used_;
+      // Stores commit in order; drop the matching (front) record.
+      if (!store_records_.empty() &&
+          store_records_.front().seq == rob_head_seq_) {
+        store_records_.erase(store_records_.begin());
+      }
+    }
+    if (head.prev_tag != kNoTag) state_.release_value(head.prev_tag);
+    ++state_.stats.committed_uops;
+    ++rob_head_seq_;
+  }
+}
+
+void CommitUnit::complete() {
+  while (!state_.completions.empty() &&
+         state_.completions.top().cycle <= state_.cycle) {
+    const Completion done = state_.completions.top();
+    state_.completions.pop();
+    if (done.tag != kNoTag) {
+      Value& v = state_.values[done.tag];
+      v.avail_mask |= cluster_bit(done.cluster);
+      v.avail_cycle[done.cluster] = done.cycle;
+    }
+    if (done.is_copy_arrival) continue;
+    RobEntry& entry = rob_[done.seq % rob_.size()];
+    VCSTEER_DCHECK(!entry.completed);
+    entry.completed = true;
+    ClusterState& cl = state_.clusters[entry.cluster];
+    VCSTEER_DCHECK(cl.inflight > 0);
+    --cl.inflight;
+    if (entry.is_load) {
+      VCSTEER_DCHECK(lsq_used_ > 0);
+      --lsq_used_;  // loads leave the LSQ once the cache answered
+    }
+  }
+}
+
+}  // namespace vcsteer::sim

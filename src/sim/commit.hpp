@@ -1,0 +1,80 @@
+// Commit stage: the re-order buffer (split INT/FP occupancy, one ring
+// buffer), the unified load/store queue, store records for store-to-load
+// forwarding, and the completion-event drain that publishes produced values
+// to the clusters' register files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hpp"
+#include "sim/core_state.hpp"
+
+namespace vcsteer::sim {
+
+struct RobEntry {
+  prog::UopId uop = prog::kInvalidUop;
+  Tag dst_tag = kNoTag;
+  Tag prev_tag = kNoTag;  ///< previous mapping of dst arch reg.
+  std::uint8_t cluster = 0;
+  bool fp_slot = false;
+  bool completed = false;
+  bool is_store = false;
+  bool is_load = false;
+};
+
+/// In-flight store with (possibly not yet computed) address, for
+/// store-to-load forwarding in the cluster back-ends.
+struct StoreRecord {
+  std::uint64_t seq;
+  std::uint64_t addr;
+  bool addr_known = false;
+};
+
+class CommitUnit {
+ public:
+  explicit CommitUnit(CoreState& state);
+
+  void reset();
+
+  /// Retire completed micro-ops at the ROB head, within the commit widths.
+  void commit();
+
+  /// Drain completion events up to the current cycle: publish values,
+  /// mark ROB entries complete, free cluster-inflight and LSQ slots.
+  void complete();
+
+  // ----- dispatch-side interface (SteerStage) -----
+  bool rob_full(bool fp_slot) const {
+    return fp_slot ? rob_fp_used_ >= state_.config.rob_fp_entries
+                   : rob_int_used_ >= state_.config.rob_int_entries;
+  }
+  bool lsq_full() const { return lsq_used_ >= state_.config.lsq_entries; }
+  /// Seq the next allocate() will assign (copies dispatched alongside a
+  /// micro-op are aged with its seq).
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Allocates the ROB entry (and LSQ slot / store record for memory ops)
+  /// for `entry`; returns its seq. Caller has already checked capacity.
+  std::uint64_t allocate(const RobEntry& entry, bool is_mem);
+
+  // ----- issue-side interface (ClusterBackend) -----
+  std::vector<StoreRecord>& store_records() { return store_records_; }
+
+  /// True when no micro-op occupies the ROB (the back-end has drained).
+  bool empty() const { return rob_int_used_ + rob_fp_used_ == 0; }
+
+ private:
+  CoreState& state_;
+
+  // ROB: ring buffer with `rob_head_seq_` tracking the seq of the head.
+  std::vector<RobEntry> rob_;
+  std::uint64_t rob_head_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t rob_int_used_ = 0;
+  std::uint32_t rob_fp_used_ = 0;
+
+  std::uint32_t lsq_used_ = 0;
+  std::vector<StoreRecord> store_records_;
+};
+
+}  // namespace vcsteer::sim

@@ -1,0 +1,68 @@
+#include "sim/copy_network.hpp"
+
+#include "common/check.hpp"
+
+namespace vcsteer::sim {
+
+bool CopyNetwork::request_copy(Tag tag, std::uint32_t cluster,
+                               std::uint64_t seq) {
+  Value& v = state_.values[tag];
+  VCSTEER_DCHECK((v.copy_mask & cluster_bit(cluster)) == 0 &&
+                 v.home != cluster);
+  ClusterState& producer = state_.clusters[v.home];
+  if (producer.copy_used >= state_.config.iq_copy_entries) return false;
+  std::uint32_t& target_regs = v.fp ? state_.clusters[cluster].regs_used_fp
+                                    : state_.clusters[cluster].regs_used_int;
+  const std::uint32_t target_cap =
+      v.fp ? state_.config.regfile_fp : state_.config.regfile_int;
+  if (target_regs >= target_cap) return false;
+
+  for (CopyEntry& e : producer.iq_copy) {
+    if (e.valid) continue;
+    e.valid = true;
+    e.src_tag = tag;
+    e.to = static_cast<std::uint8_t>(cluster);
+    e.seq = seq;  // age relative to the dispatching consumer
+    ++producer.copy_used;
+    v.copy_mask |= cluster_bit(cluster);
+    ++target_regs;
+    ++state_.stats.copies_generated;
+    return true;
+  }
+  VCSTEER_CHECK_MSG(false, "copy_used out of sync with copy queue");
+}
+
+void CopyNetwork::issue(std::uint32_t cluster) {
+  ClusterState& cl = state_.clusters[cluster];
+  for (std::uint32_t slot = 0; slot < state_.config.issue_width_copy; ++slot) {
+    CopyEntry* best = nullptr;
+    for (CopyEntry& e : cl.iq_copy) {
+      if (!e.valid) continue;
+      if (state_.cycle == 0 ||
+          !state_.value_ready_in(state_.values[e.src_tag], cluster,
+                                 state_.cycle - 1)) {
+        continue;
+      }
+      if (best == nullptr || e.seq < best->seq) best = &e;
+    }
+    if (best == nullptr) break;
+    // Arrival = network transit (topology + contention) + one cycle to
+    // write the value into the target cluster's register file.
+    const std::uint64_t crossed =
+        interconnect_->route_copy(cluster, best->to, state_.cycle);
+    state_.completions.push(Completion{crossed + 1, kCopySeq, best->src_tag,
+                                       best->to, /*is_copy_arrival=*/true});
+    best->valid = false;
+    --cl.copy_used;
+  }
+}
+
+void CopyNetwork::flush_stats() {
+  const InterconnectStats& s = interconnect_->stats();
+  state_.stats.copies_routed = s.copies_routed;
+  state_.stats.copy_hops = s.copy_hops;
+  state_.stats.link_busy_cycles = s.link_busy_cycles;
+  state_.stats.link_contention_cycles = s.link_contention_cycles;
+}
+
+}  // namespace vcsteer::sim

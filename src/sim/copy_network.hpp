@@ -1,0 +1,51 @@
+// Copy network: the per-cluster copy issue queues plus the pluggable
+// interconnect that carries inter-cluster register copies.
+//
+// A copy micro-op is created at dispatch (request_copy) in the *producer*
+// cluster's copy queue whenever a consumer is steered away from one of its
+// sources. Each cycle, every cluster selects its oldest ready copies
+// (issue_width_copy of them) and injects them into the interconnect, which
+// decides the arrival cycle from topology hop counts and per-link bandwidth
+// (sim/interconnect.hpp). Arrived values are written into the target
+// cluster's register file one cycle after crossing the network — values
+// cross clusters through the regfile; there is no cross-link bypass.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/core_state.hpp"
+#include "sim/interconnect.hpp"
+
+namespace vcsteer::sim {
+
+class CopyNetwork {
+ public:
+  explicit CopyNetwork(CoreState& state)
+      : state_(state), interconnect_(make_interconnect(state.config)) {}
+
+  void reset() { interconnect_->reset(); }
+
+  /// Ensures a replica of `tag` is (or will be) in `cluster`, creating a
+  /// copy micro-op aged with the dispatching consumer's `seq`. Returns false
+  /// when the producer's copy queue is full (dispatch must stall).
+  bool request_copy(Tag tag, std::uint32_t cluster, std::uint64_t seq);
+
+  /// Copy-queue select for `cluster`: the oldest copies whose source value
+  /// is present locally. A copy wakes up when its source completes and is
+  /// *selected* the next cycle: unlike same-cluster consumers there is no
+  /// bypass into the copy network, so a cross-cluster dependence costs
+  /// wakeup + select + network transit on top of the producer latency.
+  void issue(std::uint32_t cluster);
+
+  const Interconnect& interconnect() const { return *interconnect_; }
+
+  /// Folds the interconnect counters into the run's SimStats (end of run).
+  void flush_stats();
+
+ private:
+  CoreState& state_;
+  std::unique_ptr<Interconnect> interconnect_;
+};
+
+}  // namespace vcsteer::sim

@@ -1,18 +1,11 @@
 #include "sim/core.hpp"
 
-#include <algorithm>
-
 #include "common/check.hpp"
 
 namespace vcsteer::sim {
 namespace {
 
-constexpr std::uint64_t kCopySeq = ~0ULL;
 constexpr std::uint64_t kCycleLimit = 1ULL << 40;  // hang detector
-
-std::uint8_t bit(std::uint32_t cluster) {
-  return static_cast<std::uint8_t>(1u << cluster);
-}
 
 }  // namespace
 
@@ -21,162 +14,75 @@ ClusteredCore::ClusteredCore(const MachineConfig& config,
     : config_(config),
       program_(program),
       memory_(config),
-      frontend_(config.fetch_width * (config.fetch_to_dispatch + 2) + 16) {
+      state_(config_, program_),
+      frontend_(config_),
+      commit_(state_),
+      copies_(state_),
+      steer_(state_, frontend_, commit_, copies_) {
   VCSTEER_CHECK_MSG(config_.validate().empty(), config_.validate().c_str());
   VCSTEER_CHECK(config_.num_clusters <= kMaxClusters);
-  rob_.resize(config_.rob_int_entries + config_.rob_fp_entries);
-  clusters_.resize(config_.num_clusters);
-  for (Cluster& c : clusters_) {
-    c.iq_int.resize(config_.iq_int_entries);
-    c.iq_fp.resize(config_.iq_fp_entries);
-    c.iq_copy.resize(config_.iq_copy_entries);
+  backends_.reserve(config_.num_clusters);
+  for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
+    backends_.emplace_back(state_, commit_, memory_, c);
   }
   reset();
 }
 
 void ClusteredCore::reset() {
   memory_.reset();
-  for (Cluster& c : clusters_) {
-    std::fill(c.iq_int.begin(), c.iq_int.end(), IqEntry{});
-    std::fill(c.iq_fp.begin(), c.iq_fp.end(), IqEntry{});
-    std::fill(c.iq_copy.begin(), c.iq_copy.end(), CopyEntry{});
-    c.int_used = c.fp_used = c.copy_used = 0;
-    c.regs_used_int = c.regs_used_fp = 0;
-    c.inflight = 0;
-    c.div_busy_until = 0;
-  }
-  values_.clear();
-  free_values_.clear();
-  rename_.fill(kNoTag);
-  stale_home_.fill(steer::kNoHome);
-  rob_head_seq_ = 0;
-  next_seq_ = 0;
-  rob_int_used_ = rob_fp_used_ = 0;
-  lsq_used_ = 0;
-  store_records_.clear();
-  frontend_.clear();
-  trace_pos_ = 0;
-  while (!completions_.empty()) completions_.pop();
-  cycle_ = 0;
-  stats_ = SimStats{};
-}
-
-// ---------------------------------------------------------------- values --
-
-Tag ClusteredCore::alloc_value(std::uint8_t home, bool fp) {
-  Tag tag;
-  if (!free_values_.empty()) {
-    tag = free_values_.back();
-    free_values_.pop_back();
-    values_[tag] = Value{};
-  } else {
-    tag = static_cast<Tag>(values_.size());
-    values_.emplace_back();
-  }
-  values_[tag].home = home;
-  values_[tag].fp = fp;
-  return tag;
-}
-
-void ClusteredCore::release_value(Tag tag) {
-  VCSTEER_DCHECK(tag < values_.size());
-  const Value& v = values_[tag];
-  // Free the physical register in the home cluster and in every cluster
-  // holding (or about to receive) a replica.
-  const std::uint8_t holders =
-      static_cast<std::uint8_t>(v.copy_mask | bit(v.home));
-  for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
-    if ((holders & bit(c)) == 0) continue;
-    std::uint32_t& used =
-        v.fp ? clusters_[c].regs_used_fp : clusters_[c].regs_used_int;
-    VCSTEER_DCHECK(used > 0);
-    --used;
-  }
-  free_values_.push_back(tag);
-}
-
-bool ClusteredCore::value_ready_in(const Value& v, std::uint32_t cluster,
-                                   std::uint64_t cycle) const {
-  return (v.avail_mask & bit(cluster)) != 0 &&
-         v.avail_cycle[cluster] <= cycle;
-}
-
-bool ClusteredCore::request_copy(Tag tag, std::uint32_t cluster) {
-  Value& v = values_[tag];
-  VCSTEER_DCHECK((v.copy_mask & bit(cluster)) == 0 && v.home != cluster);
-  Cluster& producer = clusters_[v.home];
-  if (producer.copy_used >= config_.iq_copy_entries) return false;
-  std::uint32_t& target_regs = v.fp ? clusters_[cluster].regs_used_fp
-                                    : clusters_[cluster].regs_used_int;
-  const std::uint32_t target_cap = v.fp ? config_.regfile_fp : config_.regfile_int;
-  if (target_regs >= target_cap) return false;
-
-  for (CopyEntry& e : producer.iq_copy) {
-    if (e.valid) continue;
-    e.valid = true;
-    e.src_tag = tag;
-    e.to = static_cast<std::uint8_t>(cluster);
-    e.seq = next_seq_;  // age relative to the dispatching consumer
-    ++producer.copy_used;
-    v.copy_mask |= bit(cluster);
-    ++target_regs;
-    ++stats_.copies_generated;
-    return true;
-  }
-  VCSTEER_CHECK_MSG(false, "copy_used out of sync with copy queue");
+  state_.reset();
+  frontend_.reset();
+  commit_.reset();
+  copies_.reset();
 }
 
 // ------------------------------------------------------------- SteerView --
 
-std::vector<ClusteredCore::IqEntry>& ClusteredCore::queue_for(
-    Cluster& c, isa::OpClass op) {
-  return isa::uses_fp_queue(op) ? c.iq_fp : c.iq_int;
-}
-
-std::uint32_t& ClusteredCore::used_for(Cluster& c, isa::OpClass op) {
-  return isa::uses_fp_queue(op) ? c.fp_used : c.int_used;
-}
-
 std::uint32_t ClusteredCore::iq_occupancy(std::uint32_t cluster,
                                           isa::OpClass op) const {
-  VCSTEER_DCHECK(cluster < clusters_.size());
-  const Cluster& c = clusters_[cluster];
+  VCSTEER_DCHECK(cluster < state_.clusters.size());
+  const ClusterState& c = state_.clusters[cluster];
   if (op == isa::OpClass::kCopy) return c.copy_used;
   return isa::uses_fp_queue(op) ? c.fp_used : c.int_used;
 }
 
 std::uint32_t ClusteredCore::iq_capacity(isa::OpClass op) const {
-  if (op == isa::OpClass::kCopy) return config_.iq_copy_entries;
-  return isa::uses_fp_queue(op) ? config_.iq_fp_entries : config_.iq_int_entries;
+  return state_.iq_capacity(op);
 }
 
 std::uint32_t ClusteredCore::inflight(std::uint32_t cluster) const {
-  VCSTEER_DCHECK(cluster < clusters_.size());
-  return clusters_[cluster].inflight;
+  VCSTEER_DCHECK(cluster < state_.clusters.size());
+  return state_.clusters[cluster].inflight;
 }
 
 int ClusteredCore::value_home(isa::ArchReg reg) const {
-  const Tag tag = rename_[isa::flat_reg(reg)];
+  const Tag tag = state_.rename[isa::flat_reg(reg)];
   if (tag == kNoTag) return steer::kNoHome;
-  return values_[tag].home;
+  return state_.values[tag].home;
 }
 
 int ClusteredCore::value_home_stale(isa::ArchReg reg) const {
-  return stale_home_[isa::flat_reg(reg)];
+  return state_.stale_home[isa::flat_reg(reg)];
 }
 
 bool ClusteredCore::value_in_cluster(isa::ArchReg reg,
                                      std::uint32_t cluster) const {
-  const Tag tag = rename_[isa::flat_reg(reg)];
+  const Tag tag = state_.rename[isa::flat_reg(reg)];
   if (tag == kNoTag) return true;  // architected cold value: no copy needed
-  const Value& v = values_[tag];
-  return v.home == cluster || ((v.avail_mask | v.copy_mask) & bit(cluster));
+  const Value& v = state_.values[tag];
+  return v.home == cluster ||
+         ((v.avail_mask | v.copy_mask) & cluster_bit(cluster));
 }
 
 bool ClusteredCore::value_in_flight(isa::ArchReg reg) const {
-  const Tag tag = rename_[isa::flat_reg(reg)];
+  const Tag tag = state_.rename[isa::flat_reg(reg)];
   if (tag == kNoTag) return false;
-  return values_[tag].avail_mask == 0;  // producer has not completed yet
+  return state_.values[tag].avail_mask == 0;  // producer not completed yet
+}
+
+std::uint32_t ClusteredCore::copy_distance(std::uint32_t from,
+                                           std::uint32_t to) const {
+  return copies_.interconnect().distance(from, to);
 }
 
 // ------------------------------------------------------------------ run --
@@ -187,361 +93,28 @@ SimStats ClusteredCore::run(std::span<const workload::TraceEntry> trace,
   reset();
   policy.reset();
   for (const std::uint64_t addr : warm_addrs) memory_.warm(addr);
-  while (trace_pos_ < trace.size() || !frontend_.empty() ||
-         rob_int_used_ + rob_fp_used_ > 0) {
-    do_commit();
-    do_complete();
-    do_issue();
-    do_dispatch(policy);
-    do_fetch(trace);
-    // Occupancy bookkeeping for balance diagnostics.
+  while (!frontend_.drained(trace) || !commit_.empty()) {
+    commit_.commit();
+    commit_.complete();
     for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
-      stats_.occupancy_sum[c] +=
-          clusters_[c].int_used + clusters_[c].fp_used;
+      backends_[c].issue();
+      copies_.issue(c);
     }
-    ++cycle_;
-    VCSTEER_CHECK_MSG(cycle_ < kCycleLimit, "simulator wedged");
+    steer_.dispatch(policy, *this);
+    frontend_.fetch(trace, state_.cycle);
+    // Occupancy bookkeeping for balance and copy-network diagnostics.
+    for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
+      state_.stats.occupancy_sum[c] +=
+          state_.clusters[c].int_used + state_.clusters[c].fp_used;
+      state_.stats.copyq_occupancy_sum[c] += state_.clusters[c].copy_used;
+    }
+    ++state_.cycle;
+    VCSTEER_CHECK_MSG(state_.cycle < kCycleLimit, "simulator wedged");
   }
-  stats_.cycles = cycle_;
-  stats_.memory = memory_.stats();
-  return stats_;
-}
-
-// --------------------------------------------------------------- commit --
-
-void ClusteredCore::do_commit() {
-  std::uint32_t int_budget = config_.commit_width_int;
-  std::uint32_t fp_budget = config_.commit_width_fp;
-  while (rob_int_used_ + rob_fp_used_ > 0) {
-    RobEntry& head = rob_[rob_head_seq_ % rob_.size()];
-    if (!head.completed) break;
-    std::uint32_t& budget = head.fp_slot ? fp_budget : int_budget;
-    if (budget == 0) break;
-    --budget;
-    if (head.fp_slot) {
-      --rob_fp_used_;
-    } else {
-      --rob_int_used_;
-    }
-    if (head.is_store) {
-      VCSTEER_DCHECK(lsq_used_ > 0);
-      --lsq_used_;
-      // Stores commit in order; drop the matching (front) record.
-      if (!store_records_.empty() && store_records_.front().seq == rob_head_seq_) {
-        store_records_.erase(store_records_.begin());
-      }
-    }
-    if (head.prev_tag != kNoTag) release_value(head.prev_tag);
-    ++stats_.committed_uops;
-    ++rob_head_seq_;
-  }
-}
-
-// ------------------------------------------------------------- complete --
-
-void ClusteredCore::do_complete() {
-  while (!completions_.empty() && completions_.top().cycle <= cycle_) {
-    const Completion done = completions_.top();
-    completions_.pop();
-    if (done.tag != kNoTag) {
-      Value& v = values_[done.tag];
-      v.avail_mask |= bit(done.cluster);
-      v.avail_cycle[done.cluster] = done.cycle;
-    }
-    if (done.is_copy_arrival) continue;
-    RobEntry& entry = rob_[done.seq % rob_.size()];
-    VCSTEER_DCHECK(!entry.completed);
-    entry.completed = true;
-    Cluster& cl = clusters_[entry.cluster];
-    VCSTEER_DCHECK(cl.inflight > 0);
-    --cl.inflight;
-    if (entry.is_load) {
-      VCSTEER_DCHECK(lsq_used_ > 0);
-      --lsq_used_;  // loads leave the LSQ once the cache answered
-    }
-  }
-}
-
-// ---------------------------------------------------------------- issue --
-
-void ClusteredCore::do_issue() {
-  for (std::uint32_t ci = 0; ci < config_.num_clusters; ++ci) {
-    Cluster& cl = clusters_[ci];
-
-    // Compute queues: age-ordered select of ready entries.
-    for (auto* queue : {&cl.iq_int, &cl.iq_fp}) {
-      const bool fp_queue = (queue == &cl.iq_fp);
-      const std::uint32_t width =
-          fp_queue ? config_.issue_width_fp : config_.issue_width_int;
-      for (std::uint32_t slot = 0; slot < width; ++slot) {
-        IqEntry* best = nullptr;
-        for (IqEntry& e : *queue) {
-          if (!e.valid) continue;
-          const isa::MicroOp& uop = program_.uop(e.uop);
-          bool ready = true;
-          for (std::uint8_t s = 0; s < e.num_srcs && ready; ++s) {
-            if (e.src_tags[s] == kNoTag) continue;
-            ready = value_ready_in(values_[e.src_tags[s]], ci, cycle_);
-          }
-          if (!ready) continue;
-          // Unpipelined divider: one divide in flight per cluster.
-          if ((uop.op == isa::OpClass::kIntDiv ||
-               uop.op == isa::OpClass::kFpDiv) &&
-              cl.div_busy_until > cycle_) {
-            continue;
-          }
-          if (best == nullptr || e.seq < best->seq) best = &e;
-        }
-        if (best == nullptr) break;
-
-        const isa::MicroOp& uop = program_.uop(best->uop);
-        std::uint64_t done = cycle_ + isa::latency(uop.op);
-        if (uop.is_load()) {
-          // Store-to-load forwarding: newest older store to the same
-          // 8-byte word with a known address supplies the value directly.
-          bool forwarded = false;
-          for (auto it = store_records_.rbegin(); it != store_records_.rend();
-               ++it) {
-            if (it->seq >= best->seq) continue;
-            if (it->addr_known && (it->addr >> 3) == (best->addr >> 3)) {
-              forwarded = true;
-              break;
-            }
-          }
-          done += forwarded ? 1 : memory_.load_latency(best->addr, cycle_ + 1);
-        } else if (uop.is_store()) {
-          // The store's cache access happens off the critical path; charge
-          // it to the hierarchy (ports, fills) without delaying completion.
-          memory_.store_latency(best->addr, cycle_ + 1);
-          for (StoreRecord& rec : store_records_) {
-            if (rec.seq == best->seq) {
-              rec.addr = best->addr;
-              rec.addr_known = true;
-              break;
-            }
-          }
-        }
-        if (uop.op == isa::OpClass::kIntDiv || uop.op == isa::OpClass::kFpDiv) {
-          cl.div_busy_until = done;
-        }
-        completions_.push(Completion{done, best->seq, best->dst_tag,
-                                     static_cast<std::uint8_t>(ci),
-                                     /*is_copy_arrival=*/false});
-        best->valid = false;
-        --used_for(cl, uop.op);
-      }
-    }
-
-    // Copy queue: the oldest copies whose source value is present locally.
-    // A copy wakes up when its source completes and is *selected* the next
-    // cycle (cycle_ - 1 below): unlike same-cluster consumers there is no
-    // bypass into the copy network, so a cross-cluster dependence costs
-    // wakeup + select + link on top of the producer latency.
-    for (std::uint32_t slot = 0; slot < config_.issue_width_copy; ++slot) {
-      CopyEntry* best = nullptr;
-      for (CopyEntry& e : cl.iq_copy) {
-        if (!e.valid) continue;
-        if (cycle_ == 0 ||
-            !value_ready_in(values_[e.src_tag], ci, cycle_ - 1)) {
-          continue;
-        }
-        if (best == nullptr || e.seq < best->seq) best = &e;
-      }
-      if (best == nullptr) break;
-      // Arrival = link transit + one cycle to write the value into the
-      // target cluster's register file (values cross clusters through the
-      // regfile; there is no cross-link bypass network).
-      completions_.push(Completion{cycle_ + config_.link_latency + 1,
-                                   kCopySeq, best->src_tag, best->to,
-                                   /*is_copy_arrival=*/true});
-      best->valid = false;
-      --cl.copy_used;
-    }
-  }
-}
-
-// ------------------------------------------------------------- dispatch --
-
-void ClusteredCore::do_dispatch(steer::SteeringPolicy& policy) {
-  // Snapshot the rename view for the parallel-steering ablation.
-  for (std::uint16_t r = 0; r < isa::kNumFlatRegs; ++r) {
-    const Tag tag = rename_[r];
-    stale_home_[r] = tag == kNoTag ? steer::kNoHome : values_[tag].home;
-  }
-  policy.begin_cycle(*this);
-
-  std::uint32_t int_budget = config_.decode_width_int;
-  std::uint32_t fp_budget = config_.decode_width_fp;
-
-  while (int_budget + fp_budget > 0) {
-    if (frontend_.empty() || frontend_.front().ready_cycle > cycle_) {
-      ++stats_.frontend_empty;
-      return;
-    }
-    const workload::TraceEntry entry = frontend_.front().entry;
-    const isa::MicroOp& uop = program_.uop(entry.uop);
-    const bool fp = isa::uses_fp_queue(uop.op);
-    std::uint32_t& budget = fp ? fp_budget : int_budget;
-    if (budget == 0) return;  // in-order: cannot dispatch around the head
-
-    // ROB slot of the right kind.
-    if (fp ? rob_fp_used_ >= config_.rob_fp_entries
-           : rob_int_used_ >= config_.rob_int_entries) {
-      ++stats_.rob_stalls;
-      return;
-    }
-    if (uop.is_mem() && lsq_used_ >= config_.lsq_entries) {
-      ++stats_.lsq_stalls;
-      return;
-    }
-
-    const steer::SteerDecision decision = policy.choose(uop, *this);
-    if (decision.is_stall()) {
-      ++stats_.policy_stalls;
-      return;
-    }
-    const auto c = static_cast<std::uint32_t>(decision.cluster);
-    VCSTEER_CHECK_MSG(c < config_.num_clusters,
-                      "policy returned an invalid cluster");
-    Cluster& cl = clusters_[c];
-
-    // Issue-queue slot in the chosen cluster — the paper's workload-balance
-    // metric counts exactly these allocation stalls.
-    if (used_for(cl, uop.op) >= iq_capacity(uop.op)) {
-      ++stats_.alloc_stalls;
-      return;
-    }
-    // Inter-cluster copies for remote sources. All resource checks must
-    // pass before any state is mutated, so gather the needs first and check
-    // them *cumulatively* (two copies may share a producer's copy queue, and
-    // copy replicas compete with the destination for target registers).
-    const bool dst_fp = uop.has_dst && uop.dst.file == isa::RegFile::kFp;
-    Tag copy_needed[2] = {kNoTag, kNoTag};
-    std::uint8_t num_copies = 0;
-    for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
-      const Tag tag = rename_[isa::flat_reg(uop.srcs[s])];
-      if (tag == kNoTag) continue;
-      const Value& v = values_[tag];
-      if (v.home == c || ((v.avail_mask | v.copy_mask) & bit(c))) continue;
-      if (num_copies == 1 && copy_needed[0] == tag) continue;
-      copy_needed[num_copies++] = tag;
-    }
-    std::uint32_t reg_need_int = 0;
-    std::uint32_t reg_need_fp = 0;
-    if (uop.has_dst) ++(dst_fp ? reg_need_fp : reg_need_int);
-    std::array<std::uint32_t, kMaxClusters> copyq_need{};
-    for (std::uint8_t k = 0; k < num_copies; ++k) {
-      const Value& v = values_[copy_needed[k]];
-      ++copyq_need[v.home];
-      ++(v.fp ? reg_need_fp : reg_need_int);
-    }
-    if (cl.regs_used_int + reg_need_int > config_.regfile_int ||
-        cl.regs_used_fp + reg_need_fp > config_.regfile_fp) {
-      ++stats_.regfile_stalls;
-      return;
-    }
-    bool copies_ok = true;
-    for (std::uint32_t p = 0; p < config_.num_clusters && copies_ok; ++p) {
-      if (clusters_[p].copy_used + copyq_need[p] > config_.iq_copy_entries) {
-        copies_ok = false;
-      }
-    }
-    if (!copies_ok) {
-      ++stats_.copyq_stalls;
-      return;
-    }
-    // Copy micro-ops are generated at this stage and consume decode/rename
-    // bandwidth like any other micro-op (each copy takes one slot of its
-    // value's kind). This is the first-order cost of communication-heavy
-    // steering: a scheme generating 10% copies loses 10% of its front-end.
-    std::uint32_t copy_slots_int = 0;
-    std::uint32_t copy_slots_fp = 0;
-    for (std::uint8_t k = 0; k < num_copies; ++k) {
-      ++(values_[copy_needed[k]].fp ? copy_slots_fp : copy_slots_int);
-    }
-    {
-      std::uint32_t need_int = copy_slots_int + (fp ? 0 : 1);
-      std::uint32_t need_fp = copy_slots_fp + (fp ? 1 : 0);
-      if (need_int > int_budget || need_fp > fp_budget) {
-        ++stats_.copy_bandwidth_stalls;
-        return;
-      }
-      int_budget -= copy_slots_int;  // the uop's own slot is taken below
-      fp_budget -= copy_slots_fp;
-    }
-
-    // ---- commit the dispatch ----
-    for (std::uint8_t k = 0; k < num_copies; ++k) {
-      const bool ok = request_copy(copy_needed[k], c);
-      VCSTEER_CHECK(ok);
-    }
-
-    const std::uint64_t seq = next_seq_++;
-    IqEntry iq;
-    iq.valid = true;
-    iq.uop = entry.uop;
-    iq.seq = seq;
-    iq.num_srcs = uop.num_srcs;
-    for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
-      iq.src_tags[s] = rename_[isa::flat_reg(uop.srcs[s])];
-    }
-    iq.addr = entry.addr;
-
-    RobEntry rob;
-    rob.uop = entry.uop;
-    rob.cluster = static_cast<std::uint8_t>(c);
-    rob.fp_slot = fp;
-    rob.is_store = uop.is_store();
-    rob.is_load = uop.is_load();
-    if (uop.has_dst) {
-      const std::uint16_t flat = isa::flat_reg(uop.dst);
-      rob.prev_tag = rename_[flat];
-      const Tag tag = alloc_value(static_cast<std::uint8_t>(c), dst_fp);
-      rename_[flat] = tag;
-      rob.dst_tag = tag;
-      iq.dst_tag = tag;
-      (dst_fp ? cl.regs_used_fp : cl.regs_used_int) += 1;
-    }
-
-    std::vector<IqEntry>& queue = queue_for(cl, uop.op);
-    bool inserted = false;
-    for (IqEntry& slot : queue) {
-      if (!slot.valid) {
-        slot = iq;
-        inserted = true;
-        break;
-      }
-    }
-    VCSTEER_CHECK(inserted);
-    ++used_for(cl, uop.op);
-
-    rob_[seq % rob_.size()] = rob;
-    (fp ? rob_fp_used_ : rob_int_used_) += 1;
-    if (uop.is_mem()) {
-      ++lsq_used_;
-      if (uop.is_store()) {
-        store_records_.push_back(StoreRecord{seq, /*addr=*/0, false});
-      }
-    }
-    ++cl.inflight;
-    ++stats_.dispatched_uops;
-    ++stats_.dispatched_to[c];
-    frontend_.pop();
-    --budget;
-    policy.on_dispatched(uop, c);
-  }
-}
-
-// ---------------------------------------------------------------- fetch --
-
-void ClusteredCore::do_fetch(std::span<const workload::TraceEntry> trace) {
-  for (std::uint32_t k = 0;
-       k < config_.fetch_width && trace_pos_ < trace.size(); ++k) {
-    if (frontend_.full()) break;
-    frontend_.push(
-        FrontEntry{trace[trace_pos_], cycle_ + config_.fetch_to_dispatch});
-    ++trace_pos_;
-  }
+  state_.stats.cycles = state_.cycle;
+  state_.stats.memory = memory_.stats();
+  copies_.flush_stats();
+  return state_.stats;
 }
 
 }  // namespace vcsteer::sim

@@ -1,15 +1,18 @@
-// Cycle-driven clustered out-of-order core (paper Figure 1 / Table 2).
+// Cycle-driven clustered out-of-order core (paper Figure 1 / Table 2),
+// composed from explicit pipeline-stage components that share a small
+// CoreState (sim/core_state.hpp):
 //
-// Monolithic front-end: trace-driven fetch (fetch_width/cycle) into a
-// fetch-to-dispatch pipe (5 cycles), then an in-order decode/rename/steer
-// stage (3 INT + 3 FP micro-ops per cycle) that consults the active
-// SteeringPolicy per micro-op. Clustered back-end: per-cluster INT/FP/COPY
-// issue queues with age-ordered select, fully pipelined functional units
-// (divides block the divider), a unified LSQ + L1D/L2 hierarchy shared by
-// all clusters, and explicit copy micro-ops inserted into the *producer*
-// cluster's copy queue whenever a consumer is steered away from one of its
-// sources (one copy per value per destination cluster — the replica bits
-// live next to the rename table, as in the paper §4.3).
+//   FrontEnd        trace-driven fetch into the fetch-to-dispatch pipe
+//   SteerStage      in-order decode/rename/steer, consults the policy
+//   ClusterBackend  per-cluster INT/FP issue + execute
+//   CopyNetwork     copy queues + pluggable Interconnect (ideal / bus /
+//                   ring / crossbar — see sim/interconnect.hpp)
+//   CommitUnit      ROB, unified LSQ, completion drain, in-order commit
+//
+// The stages run in reverse pipeline order each cycle so a value produced
+// in cycle t is visible to consumers in t+1, exactly as in the monolithic
+// predecessor of this file; with the ideal interconnect the composition is
+// bit-identical to it.
 //
 // The simulator is trace-driven like the paper's: branch outcomes come from
 // the trace, so there is no wrong-path execution; this applies identically
@@ -17,23 +20,23 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <queue>
 #include <span>
 #include <vector>
 
 #include "common/config.hpp"
-#include "common/fixed_queue.hpp"
 #include "mem/hierarchy.hpp"
 #include "program/program.hpp"
+#include "sim/backend.hpp"
+#include "sim/commit.hpp"
+#include "sim/copy_network.hpp"
+#include "sim/core_state.hpp"
+#include "sim/frontend.hpp"
 #include "sim/stats.hpp"
+#include "sim/steer_stage.hpp"
 #include "steer/policy.hpp"
 #include "workload/trace.hpp"
 
 namespace vcsteer::sim {
-
-using Tag = std::uint32_t;
-constexpr Tag kNoTag = ~0u;
 
 class ClusteredCore : public steer::SteerView {
  public:
@@ -57,132 +60,25 @@ class ClusteredCore : public steer::SteerView {
   int value_home_stale(isa::ArchReg reg) const override;
   bool value_in_cluster(isa::ArchReg reg, std::uint32_t cluster) const override;
   bool value_in_flight(isa::ArchReg reg) const override;
+  std::uint32_t copy_distance(std::uint32_t from,
+                              std::uint32_t to) const override;
 
   const MachineConfig& config() const { return config_; }
+  const Interconnect& interconnect() const { return copies_.interconnect(); }
 
  private:
-  // ----- dynamic value tracking -----
-  struct Value {
-    std::uint8_t home = 0;        ///< producing cluster.
-    std::uint8_t avail_mask = 0;  ///< bit c: ready in cluster c at avail_cycle[c].
-    std::uint8_t copy_mask = 0;   ///< bit c: replica present or under way.
-    bool fp = false;
-    std::array<std::uint64_t, kMaxClusters> avail_cycle{};
-  };
-
-  struct IqEntry {
-    bool valid = false;
-    prog::UopId uop = prog::kInvalidUop;
-    std::uint64_t seq = 0;  ///< dispatch order, for age-based select.
-    std::uint8_t num_srcs = 0;
-    std::array<Tag, 2> src_tags{kNoTag, kNoTag};
-    Tag dst_tag = kNoTag;
-    std::uint64_t addr = 0;  ///< memory address (loads/stores).
-  };
-
-  struct CopyEntry {
-    bool valid = false;
-    Tag src_tag = kNoTag;
-    std::uint8_t to = 0;
-    std::uint64_t seq = 0;
-  };
-
-  struct RobEntry {
-    prog::UopId uop = prog::kInvalidUop;
-    Tag dst_tag = kNoTag;
-    Tag prev_tag = kNoTag;  ///< previous mapping of dst arch reg.
-    std::uint8_t cluster = 0;
-    bool fp_slot = false;
-    bool completed = false;
-    bool is_store = false;
-    bool is_load = false;
-  };
-
-  struct Cluster {
-    std::vector<IqEntry> iq_int;
-    std::vector<IqEntry> iq_fp;
-    std::vector<CopyEntry> iq_copy;
-    std::uint32_t int_used = 0;
-    std::uint32_t fp_used = 0;
-    std::uint32_t copy_used = 0;
-    std::uint32_t regs_used_int = 0;
-    std::uint32_t regs_used_fp = 0;
-    std::uint32_t inflight = 0;     ///< dispatched, not yet completed.
-    std::uint64_t div_busy_until = 0;  ///< unpipelined divider.
-  };
-
-  struct FrontEntry {
-    workload::TraceEntry entry;
-    std::uint64_t ready_cycle = 0;  ///< fetch cycle + fetch_to_dispatch.
-  };
-
-  struct Completion {
-    std::uint64_t cycle;
-    std::uint64_t seq;     ///< ROB seq; kCopySeq for copies.
-    Tag tag;               ///< value made available.
-    std::uint8_t cluster;  ///< where it becomes available.
-    bool is_copy_arrival;
-    bool operator>(const Completion& other) const { return cycle > other.cycle; }
-  };
-
-  // ----- pipeline stages (called in reverse order each cycle) -----
-  void do_commit();
-  void do_complete();
-  void do_issue();
-  void do_dispatch(steer::SteeringPolicy& policy);
-  void do_fetch(std::span<const workload::TraceEntry> trace);
-
-  // ----- helpers -----
-  Tag alloc_value(std::uint8_t home, bool fp);
-  void release_value(Tag tag);
-  /// Ensures a replica of `tag` is (or will be) in `cluster`. Returns false
-  /// when the producer's copy queue is full (dispatch must stall).
-  bool request_copy(Tag tag, std::uint32_t cluster);
-  bool value_ready_in(const Value& v, std::uint32_t cluster,
-                      std::uint64_t cycle) const;
-  std::vector<IqEntry>& queue_for(Cluster& c, isa::OpClass op);
-  std::uint32_t& used_for(Cluster& c, isa::OpClass op);
   void reset();
 
   MachineConfig config_;
   const prog::Program& program_;
   mem::MemoryHierarchy memory_;
 
-  std::vector<Cluster> clusters_;
-  std::vector<Value> values_;
-  std::vector<Tag> free_values_;
-
-  /// Rename table: architectural register -> tag of current value.
-  std::array<Tag, isa::kNumFlatRegs> rename_{};
-  /// Snapshot of value homes at the start of the dispatch cycle (stale view
-  /// for the parallel-steering ablation).
-  std::array<int, isa::kNumFlatRegs> stale_home_{};
-
-  // ROB: ring buffer with `rob_head_seq_` tracking the seq of the head.
-  std::vector<RobEntry> rob_;
-  std::uint64_t rob_head_seq_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint32_t rob_int_used_ = 0;
-  std::uint32_t rob_fp_used_ = 0;
-
-  std::uint32_t lsq_used_ = 0;
-  /// In-flight stores with known addresses, for store-to-load forwarding.
-  struct StoreRecord {
-    std::uint64_t seq;
-    std::uint64_t addr;
-    bool addr_known = false;
-  };
-  std::vector<StoreRecord> store_records_;
-
-  FixedQueue<FrontEntry> frontend_;
-  std::size_t trace_pos_ = 0;
-
-  std::priority_queue<Completion, std::vector<Completion>,
-                      std::greater<Completion>>
-      completions_;
-
-  std::uint64_t cycle_ = 0;
-  SimStats stats_;
+  CoreState state_;
+  FrontEnd frontend_;
+  CommitUnit commit_;
+  CopyNetwork copies_;
+  SteerStage steer_;
+  std::vector<ClusterBackend> backends_;
 };
 
 }  // namespace vcsteer::sim

@@ -1,0 +1,69 @@
+#include "sim/core_state.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "steer/policy.hpp"
+
+namespace vcsteer::sim {
+
+CoreState::CoreState(const MachineConfig& config, const prog::Program& program)
+    : config(config), program(program) {
+  clusters.resize(config.num_clusters);
+  for (ClusterState& c : clusters) {
+    c.iq_int.resize(config.iq_int_entries);
+    c.iq_fp.resize(config.iq_fp_entries);
+    c.iq_copy.resize(config.iq_copy_entries);
+  }
+}
+
+void CoreState::reset() {
+  for (ClusterState& c : clusters) {
+    std::fill(c.iq_int.begin(), c.iq_int.end(), IqEntry{});
+    std::fill(c.iq_fp.begin(), c.iq_fp.end(), IqEntry{});
+    std::fill(c.iq_copy.begin(), c.iq_copy.end(), CopyEntry{});
+    c.int_used = c.fp_used = c.copy_used = 0;
+    c.regs_used_int = c.regs_used_fp = 0;
+    c.inflight = 0;
+    c.div_busy_until = 0;
+  }
+  values.clear();
+  free_values.clear();
+  rename.fill(kNoTag);
+  stale_home.fill(steer::kNoHome);
+  while (!completions.empty()) completions.pop();
+  cycle = 0;
+  stats = SimStats{};
+}
+
+Tag CoreState::alloc_value(std::uint8_t home, bool fp) {
+  Tag tag;
+  if (!free_values.empty()) {
+    tag = free_values.back();
+    free_values.pop_back();
+    values[tag] = Value{};
+  } else {
+    tag = static_cast<Tag>(values.size());
+    values.emplace_back();
+  }
+  values[tag].home = home;
+  values[tag].fp = fp;
+  return tag;
+}
+
+void CoreState::release_value(Tag tag) {
+  VCSTEER_DCHECK(tag < values.size());
+  const Value& v = values[tag];
+  const std::uint8_t holders =
+      static_cast<std::uint8_t>(v.copy_mask | cluster_bit(v.home));
+  for (std::uint32_t c = 0; c < config.num_clusters; ++c) {
+    if ((holders & cluster_bit(c)) == 0) continue;
+    std::uint32_t& used =
+        v.fp ? clusters[c].regs_used_fp : clusters[c].regs_used_int;
+    VCSTEER_DCHECK(used > 0);
+    --used;
+  }
+  free_values.push_back(tag);
+}
+
+}  // namespace vcsteer::sim

@@ -1,0 +1,135 @@
+// Machine state shared by the pipeline-stage components.
+//
+// The clustered core is assembled from five separately-testable components
+// (FrontEnd, SteerStage, ClusterBackend, CopyNetwork, CommitUnit — see
+// sim/core.hpp); CoreState is the small piece of state they all read and
+// write: the dynamic value table (who produced what, where replicas live),
+// the rename table and its cycle-start snapshot, the per-cluster queue and
+// register-file occupancy counters, the completion event queue, the cycle
+// counter and the run's statistics. Each component owns the state only it
+// touches (the ROB/LSQ live in CommitUnit, the fetch pipe in FrontEnd, the
+// interconnect in CopyNetwork).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/config.hpp"
+#include "isa/uop.hpp"
+#include "program/program.hpp"
+#include "sim/stats.hpp"
+
+namespace vcsteer::sim {
+
+using Tag = std::uint32_t;
+constexpr Tag kNoTag = ~0u;
+/// Completion-queue seq marking a copy arrival (no ROB entry to complete).
+constexpr std::uint64_t kCopySeq = ~0ULL;
+
+inline std::uint8_t cluster_bit(std::uint32_t cluster) {
+  return static_cast<std::uint8_t>(1u << cluster);
+}
+
+/// A renamed value in flight or live in the register files.
+struct Value {
+  std::uint8_t home = 0;        ///< producing cluster.
+  std::uint8_t avail_mask = 0;  ///< bit c: ready in cluster c at avail_cycle[c].
+  std::uint8_t copy_mask = 0;   ///< bit c: replica present or under way.
+  bool fp = false;
+  std::array<std::uint64_t, kMaxClusters> avail_cycle{};
+};
+
+struct IqEntry {
+  bool valid = false;
+  prog::UopId uop = prog::kInvalidUop;
+  std::uint64_t seq = 0;  ///< dispatch order, for age-based select.
+  std::uint8_t num_srcs = 0;
+  std::array<Tag, 2> src_tags{kNoTag, kNoTag};
+  Tag dst_tag = kNoTag;
+  std::uint64_t addr = 0;  ///< memory address (loads/stores).
+};
+
+struct CopyEntry {
+  bool valid = false;
+  Tag src_tag = kNoTag;
+  std::uint8_t to = 0;
+  std::uint64_t seq = 0;
+};
+
+/// One cluster's issue queues and occupancy counters.
+struct ClusterState {
+  std::vector<IqEntry> iq_int;
+  std::vector<IqEntry> iq_fp;
+  std::vector<CopyEntry> iq_copy;
+  std::uint32_t int_used = 0;
+  std::uint32_t fp_used = 0;
+  std::uint32_t copy_used = 0;
+  std::uint32_t regs_used_int = 0;
+  std::uint32_t regs_used_fp = 0;
+  std::uint32_t inflight = 0;        ///< dispatched, not yet completed.
+  std::uint64_t div_busy_until = 0;  ///< unpipelined divider.
+};
+
+struct Completion {
+  std::uint64_t cycle;
+  std::uint64_t seq;     ///< ROB seq; kCopySeq for copies.
+  Tag tag;               ///< value made available.
+  std::uint8_t cluster;  ///< where it becomes available.
+  bool is_copy_arrival;
+  bool operator>(const Completion& other) const { return cycle > other.cycle; }
+};
+
+struct CoreState {
+  CoreState(const MachineConfig& config, const prog::Program& program);
+
+  /// Back to the post-construction state (a fresh run).
+  void reset();
+
+  // ----- value tracking -----
+  Tag alloc_value(std::uint8_t home, bool fp);
+  /// Frees the physical register in the home cluster and in every cluster
+  /// holding (or about to receive) a replica.
+  void release_value(Tag tag);
+  bool value_ready_in(const Value& v, std::uint32_t cluster,
+                      std::uint64_t cycle) const {
+    return (v.avail_mask & cluster_bit(cluster)) != 0 &&
+           v.avail_cycle[cluster] <= cycle;
+  }
+
+  // ----- queue plumbing -----
+  std::vector<IqEntry>& queue_for(ClusterState& c, isa::OpClass op) {
+    return isa::uses_fp_queue(op) ? c.iq_fp : c.iq_int;
+  }
+  std::uint32_t& used_for(ClusterState& c, isa::OpClass op) {
+    return isa::uses_fp_queue(op) ? c.fp_used : c.int_used;
+  }
+  std::uint32_t iq_capacity(isa::OpClass op) const {
+    if (op == isa::OpClass::kCopy) return config.iq_copy_entries;
+    return isa::uses_fp_queue(op) ? config.iq_fp_entries
+                                  : config.iq_int_entries;
+  }
+
+  const MachineConfig& config;
+  const prog::Program& program;
+
+  std::vector<ClusterState> clusters;
+  std::vector<Value> values;
+  std::vector<Tag> free_values;
+
+  /// Rename table: architectural register -> tag of current value.
+  std::array<Tag, isa::kNumFlatRegs> rename{};
+  /// Snapshot of value homes at the start of the dispatch cycle (stale view
+  /// for the parallel-steering ablation).
+  std::array<int, isa::kNumFlatRegs> stale_home{};
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+
+  std::uint64_t cycle = 0;
+  SimStats stats;
+};
+
+}  // namespace vcsteer::sim

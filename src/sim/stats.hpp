@@ -37,6 +37,15 @@ struct SimStats {
   std::array<std::uint64_t, kMaxClusters> dispatched_to{};  ///< per cluster.
   std::array<std::uint64_t, kMaxClusters> occupancy_sum{};  ///< IQ entries * cycles.
 
+  // Copy network / interconnect (see sim/interconnect.hpp). copies_routed
+  // counts copies injected into the network; hops/busy/contention describe
+  // its load: a contention-free run has link_contention_cycles == 0.
+  std::uint64_t copies_routed = 0;
+  std::uint64_t copy_hops = 0;                ///< total links traversed.
+  std::uint64_t link_busy_cycles = 0;         ///< link-cycle slots claimed.
+  std::uint64_t link_contention_cycles = 0;   ///< waits for a busy link slot.
+  std::array<std::uint64_t, kMaxClusters> copyq_occupancy_sum{};  ///< entries * cycles.
+
   mem::HierarchyStats memory{};
 
   double ipc() const {

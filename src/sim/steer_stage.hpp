@@ -1,0 +1,37 @@
+// Steer/dispatch stage: the in-order decode/rename/steer pipe of the
+// paper's Figure 1 monolithic front-end. Per cycle it consults the active
+// SteeringPolicy for each renamed micro-op, checks every downstream
+// resource *cumulatively* (ROB/LSQ slots, issue-queue entry, physical
+// registers for the destination and any copy replicas, copy-queue slots in
+// the producer clusters, and decode bandwidth for the generated copy
+// micro-ops) before mutating any state, then commits the dispatch: rename,
+// copy requests into the copy network, issue-queue insert, ROB/LSQ
+// allocation.
+#pragma once
+
+#include "sim/commit.hpp"
+#include "sim/copy_network.hpp"
+#include "sim/core_state.hpp"
+#include "sim/frontend.hpp"
+#include "steer/policy.hpp"
+
+namespace vcsteer::sim {
+
+class SteerStage {
+ public:
+  SteerStage(CoreState& state, FrontEnd& frontend, CommitUnit& commit,
+             CopyNetwork& copies)
+      : state_(state), frontend_(frontend), commit_(commit), copies_(copies) {}
+
+  /// One cycle of dispatch. `view` is the SteerView handed to the policy
+  /// (the composed core, so policies see the whole machine).
+  void dispatch(steer::SteeringPolicy& policy, const steer::SteerView& view);
+
+ private:
+  CoreState& state_;
+  FrontEnd& frontend_;
+  CommitUnit& commit_;
+  CopyNetwork& copies_;
+};
+
+}  // namespace vcsteer::sim

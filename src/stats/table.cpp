@@ -104,17 +104,36 @@ std::string Table::to_markdown() const {
   return os.str();
 }
 
+namespace {
+
+/// RFC 4180: cells containing the separator, quotes or line breaks are
+/// quoted, with embedded quotes doubled.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char ch : cell) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
 std::string Table::to_csv() const {
   std::ostringstream os;
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     if (c) os << ',';
-    os << columns_[c];
+    os << csv_escape(columns_[c]);
   }
   os << '\n';
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < columns_.size(); ++c) {
       if (c) os << ',';
-      if (c < row.size()) os << row[c].text;
+      if (c < row.size()) os << csv_escape(row[c].text);
     }
     os << '\n';
   }

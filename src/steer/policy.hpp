@@ -62,6 +62,17 @@ class SteerView {
   /// following such a source avoids a copy on the critical path, which the
   /// occupancy-aware scheme prioritises.
   virtual bool value_in_flight(isa::ArchReg reg) const = 0;
+
+  /// Interconnect links a copy from `from` to `to` would traverse (0 when
+  /// equal): the static topology distance, independent of load. Uniform
+  /// single-hop by default so mocks and pre-topology policies are
+  /// unaffected; the simulator overrides it with the real topology
+  /// (sim/interconnect.hpp), letting policies weigh far clusters against
+  /// near ones on non-uniform fabrics (ring).
+  virtual std::uint32_t copy_distance(std::uint32_t from,
+                                      std::uint32_t to) const {
+    return from == to ? 0 : 1;
+  }
 };
 
 struct SteerDecision {

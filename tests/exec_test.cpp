@@ -6,9 +6,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/cache.hpp"
@@ -54,6 +56,11 @@ void expect_stats_equal(const sim::SimStats& a, const sim::SimStats& b) {
   EXPECT_EQ(a.frontend_empty, b.frontend_empty);
   EXPECT_EQ(a.dispatched_to, b.dispatched_to);
   EXPECT_EQ(a.occupancy_sum, b.occupancy_sum);
+  EXPECT_EQ(a.copies_routed, b.copies_routed);
+  EXPECT_EQ(a.copy_hops, b.copy_hops);
+  EXPECT_EQ(a.link_busy_cycles, b.link_busy_cycles);
+  EXPECT_EQ(a.link_contention_cycles, b.link_contention_cycles);
+  EXPECT_EQ(a.copyq_occupancy_sum, b.copyq_occupancy_sum);
   EXPECT_EQ(a.memory.loads, b.memory.loads);
   EXPECT_EQ(a.memory.stores, b.memory.stores);
   EXPECT_EQ(a.memory.l1_hits, b.memory.l1_hits);
@@ -72,6 +79,8 @@ void expect_results_equal(const harness::RunResult& a,
   EXPECT_EQ(a.copies_per_kuop, b.copies_per_kuop);
   EXPECT_EQ(a.alloc_stalls_per_kuop, b.alloc_stalls_per_kuop);
   EXPECT_EQ(a.policy_stalls_per_kuop, b.policy_stalls_per_kuop);
+  EXPECT_EQ(a.copy_hops_per_kuop, b.copy_hops_per_kuop);
+  EXPECT_EQ(a.link_contention_per_kuop, b.link_contention_per_kuop);
   EXPECT_EQ(a.committed_uops, b.committed_uops);
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.num_points, b.num_points);
@@ -265,7 +274,7 @@ TEST(CacheKey, SensitiveToEveryAxis) {
   }
   {
     MachineConfig m2 = machine;
-    m2.link_latency += 1;
+    m2.interconnect.link_latency += 1;
     EXPECT_NE(base, cache_key(profile, m2, spec, budget));
   }
   {
@@ -284,6 +293,64 @@ TEST(CacheKey, SensitiveToEveryAxis) {
     EXPECT_NE(base, cache_key(profile, machine, spec, b2));
   }
   EXPECT_NE(base, cache_key(profile, machine, spec, budget, "MOD3"));
+}
+
+// Every MachineConfig field must enter the cache key: a field the key misses
+// would silently alias cached results across genuinely different machines.
+// When adding a config field, extend both cache_key() and this list.
+TEST(CacheKey, SensitiveToEveryMachineField) {
+  const workload::WorkloadProfile profile = workload::smoke_profiles()[0];
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SchemeSpec spec{steer::Scheme::kOp, 0};
+  const harness::SimBudget budget;
+  const std::string base = cache_key(profile, machine, spec, budget);
+
+  using Mutation = std::pair<const char*, std::function<void(MachineConfig&)>>;
+  const std::vector<Mutation> mutations = {
+      {"fetch_width", [](MachineConfig& m) { m.fetch_width += 1; }},
+      {"fetch_to_dispatch", [](MachineConfig& m) { m.fetch_to_dispatch += 1; }},
+      {"decode_width_int", [](MachineConfig& m) { m.decode_width_int += 1; }},
+      {"decode_width_fp", [](MachineConfig& m) { m.decode_width_fp += 1; }},
+      {"rob_int_entries", [](MachineConfig& m) { m.rob_int_entries += 1; }},
+      {"rob_fp_entries", [](MachineConfig& m) { m.rob_fp_entries += 1; }},
+      {"commit_width_int", [](MachineConfig& m) { m.commit_width_int += 1; }},
+      {"commit_width_fp", [](MachineConfig& m) { m.commit_width_fp += 1; }},
+      {"num_clusters", [](MachineConfig& m) { m.num_clusters += 1; }},
+      {"iq_int_entries", [](MachineConfig& m) { m.iq_int_entries += 1; }},
+      {"iq_fp_entries", [](MachineConfig& m) { m.iq_fp_entries += 1; }},
+      {"iq_copy_entries", [](MachineConfig& m) { m.iq_copy_entries += 1; }},
+      {"issue_width_int", [](MachineConfig& m) { m.issue_width_int += 1; }},
+      {"issue_width_fp", [](MachineConfig& m) { m.issue_width_fp += 1; }},
+      {"issue_width_copy", [](MachineConfig& m) { m.issue_width_copy += 1; }},
+      {"regfile_int", [](MachineConfig& m) { m.regfile_int += 1; }},
+      {"regfile_fp", [](MachineConfig& m) { m.regfile_fp += 1; }},
+      {"interconnect.kind",
+       [](MachineConfig& m) { m.interconnect.kind = Topology::kRing; }},
+      {"interconnect.link_latency",
+       [](MachineConfig& m) { m.interconnect.link_latency += 1; }},
+      {"interconnect.copies_per_link_cycle",
+       [](MachineConfig& m) { m.interconnect.copies_per_link_cycle += 1; }},
+      {"l1d.size_bytes", [](MachineConfig& m) { m.l1d.size_bytes *= 2; }},
+      {"l1d.associativity", [](MachineConfig& m) { m.l1d.associativity *= 2; }},
+      {"l1d.line_bytes", [](MachineConfig& m) { m.l1d.line_bytes *= 2; }},
+      {"l1d.hit_latency", [](MachineConfig& m) { m.l1d.hit_latency += 1; }},
+      {"l2.size_bytes", [](MachineConfig& m) { m.l2.size_bytes *= 2; }},
+      {"l2.associativity", [](MachineConfig& m) { m.l2.associativity *= 2; }},
+      {"l2.line_bytes", [](MachineConfig& m) { m.l2.line_bytes *= 2; }},
+      {"l2.hit_latency", [](MachineConfig& m) { m.l2.hit_latency += 1; }},
+      {"memory_latency", [](MachineConfig& m) { m.memory_latency += 1; }},
+      {"lsq_entries", [](MachineConfig& m) { m.lsq_entries += 1; }},
+      {"l1_read_ports", [](MachineConfig& m) { m.l1_read_ports += 1; }},
+      {"l1_write_ports", [](MachineConfig& m) { m.l1_write_ports += 1; }},
+      {"op_occupancy_threshold",
+       [](MachineConfig& m) { m.op_occupancy_threshold += 0.01; }},
+  };
+  for (const auto& [name, mutate] : mutations) {
+    MachineConfig mutated = machine;
+    mutate(mutated);
+    EXPECT_NE(base, cache_key(profile, mutated, spec, budget))
+        << "cache key is blind to MachineConfig field " << name;
+  }
 }
 
 TEST(Sweep, WarmCacheSkipsAllSimulation) {
@@ -319,7 +386,7 @@ TEST(Sweep, ChangedConfigMissesCache) {
 
   // A machine change invalidates every point...
   SweepGrid changed = grid;
-  changed.machines[0].link_latency += 1;
+  changed.machines[0].interconnect.link_latency += 1;
   const SweepResult miss = run_sweep(changed, opt);
   EXPECT_EQ(miss.simulated, miss.num_points());
   EXPECT_EQ(miss.cache_hits, 0u);
@@ -331,6 +398,58 @@ TEST(Sweep, ChangedConfigMissesCache) {
   rebudget.budget.interval_uops /= 2;
   const SweepResult miss2 = run_sweep(rebudget, opt);
   EXPECT_EQ(miss2.cache_hits, 0u);
+}
+
+TEST(Sweep, ShardsPartitionJobsAndAssembleFromSharedCache) {
+  ScratchDir dir;
+  SweepGrid grid = small_grid();  // 2 traces x 1 machine x 3 schemes
+  grid.machines.push_back(MachineConfig::four_cluster());  // -> 4 jobs
+
+  // Reference: one unsharded, uncached sweep.
+  const SweepResult full = run_sweep(grid, SweepOptions{});
+  EXPECT_EQ(full.skipped, 0u);
+
+  // Two shard "processes" sharing the cache dir split the 4 jobs exactly.
+  SweepOptions shard;
+  shard.cache_dir = dir.path() + "/cache";
+  shard.shard_count = 2;
+  std::size_t simulated = 0;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    shard.shard_index = i;
+    const SweepResult part = run_sweep(grid, shard);
+    EXPECT_EQ(part.simulated + part.skipped, part.num_points());
+    EXPECT_EQ(part.skipped, part.num_points() / 2);
+    simulated += part.simulated;
+    // The shard's own slots carry real results; other-shard slots are empty.
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+        const bool mine =
+            (t * grid.machines.size() + m) % shard.shard_count == i;
+        for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+          if (mine) {
+            expect_results_equal(full.at(t, m, s), part.at(t, m, s));
+          } else {
+            EXPECT_TRUE(part.at(t, m, s).trace.empty());
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(simulated, full.num_points());
+
+  // A final unsharded run assembles every point from the shared cache.
+  SweepOptions assemble;
+  assemble.cache_dir = shard.cache_dir;
+  const SweepResult warm = run_sweep(grid, assemble);
+  EXPECT_EQ(warm.simulated, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.num_points());
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+      for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+        expect_results_equal(full.at(t, m, s), warm.at(t, m, s));
+      }
+    }
+  }
 }
 
 TEST(Sweep, PartialCacheSimulatesOnlyMissing) {

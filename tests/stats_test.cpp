@@ -59,6 +59,19 @@ TEST(Table, CsvRoundTrip) {
   EXPECT_EQ(t.to_csv(), "a,b,c\nx,y,z\n");
 }
 
+TEST(Table, CsvQuotesSpecialCells) {
+  // RFC 4180: commas, quotes and line breaks force a quoted cell with
+  // embedded quotes doubled; plain cells stay unquoted.
+  Table t("csv");
+  t.set_columns({"plain", "with,comma"});
+  t.row().add("a,b").add("say \"hi\"");
+  t.row().add("two\nlines").add("cr\rhere");
+  EXPECT_EQ(t.to_csv(),
+            "plain,\"with,comma\"\n"
+            "\"a,b\",\"say \"\"hi\"\"\"\n"
+            "\"two\nlines\",\"cr\rhere\"\n");
+}
+
 TEST(Table, JsonKeepsFullPrecision) {
   Table t("json");
   t.set_columns({"name", "v", "n"});
