@@ -8,6 +8,14 @@
 // slower or narrower; the ring separates further on 4 clusters where hop
 // counts become non-uniform.
 //
+// The final block re-runs the 4-cluster machines with
+// steer.topology_aware on (policies weigh candidate clusters by hop count
+// and observed link contention; software passes use the per-pair topology
+// cost matrix) and quantifies the win per topology against the flat
+// policies. The win concentrates on the ring, where distances are
+// non-uniform; on uniform fabrics only the cost-based divert/remap
+// tiebreaks differ, so the gap stays near zero.
+//
 // Usage: ablation_interconnect [--jobs N] [--smoke] [--shard i/n]
 //                              [--cache-dir D] [--json F] [--csv]
 #include <utility>
@@ -48,6 +56,15 @@ int main(int argc, char** argv) {
   for (const std::uint32_t link : link_latencies) {
     MachineConfig machine = MachineConfig::two_cluster();
     machine.interconnect.link_latency = link;
+    grid.machines.push_back(machine);
+  }
+  // Topology-aware block: the 4-cluster machines again with the steering
+  // knob on; paired with the flat 4-cluster block for the comparison table.
+  const std::size_t aware_base = grid.machines.size();
+  for (const Topology topo : topologies) {
+    MachineConfig machine = MachineConfig::four_cluster();
+    machine.interconnect.kind = topo;
+    machine.steer.topology_aware = true;
     grid.machines.push_back(machine);
   }
   grid.schemes = {
@@ -113,5 +130,46 @@ int main(int argc, char** argv) {
     }
   }
   out.add(link_table);
+
+  // Flat vs topology-aware on the 4-cluster machines (machine index
+  // num_topos + ti pairs with aware_base + ti, same topology).
+  stats::Table aware_table(
+      "Topology-aware steering, 4 clusters: avg IPC gain vs flat (%), and "
+      "avg avoided-contended steers (/kuop)");
+  aware_table.set_columns(
+      {"topology", "OP", "OB", "RHOP", "VC", "avoided/kuop"});
+  stats::Table hops_table(
+      "Topology-aware steering, 4 clusters: avg copy-hops/kuop, flat vs "
+      "aware");
+  hops_table.set_columns(
+      {"topology", "OP flat", "OP aware", "VC flat", "VC aware"});
+  for (std::size_t ti = 0; ti < num_topos; ++ti) {
+    const std::size_t flat_m = num_topos + ti;
+    const std::size_t aware_m = aware_base + ti;
+    aware_table.row().add(std::string(topology_name(topologies[ti])));
+    double avoided = 0;
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      double gain = 0;
+      for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+        gain += stats::speedup_pct(sweep.at(t, aware_m, s).ipc,
+                                   sweep.at(t, flat_m, s).ipc);
+        avoided += sweep.at(t, aware_m, s).avoided_contended_per_kuop;
+      }
+      aware_table.add(gain / n, 2);
+    }
+    aware_table.add(avoided / (n * static_cast<double>(grid.schemes.size())),
+                    2);
+    hops_table.row().add(std::string(topology_name(topologies[ti])));
+    double hops[4] = {};
+    for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+      hops[0] += sweep.at(t, flat_m, 0).copy_hops_per_kuop;
+      hops[1] += sweep.at(t, aware_m, 0).copy_hops_per_kuop;
+      hops[2] += sweep.at(t, flat_m, 3).copy_hops_per_kuop;
+      hops[3] += sweep.at(t, aware_m, 3).copy_hops_per_kuop;
+    }
+    for (const double h : hops) hops_table.add(h / n, 1);
+  }
+  out.add(aware_table);
+  out.add(hops_table);
   return out.finish();
 }

@@ -19,6 +19,20 @@ const char* topology_name(Topology t) {
   return "?";
 }
 
+std::uint32_t topology_distance(Topology kind, std::uint32_t num_clusters,
+                                std::uint32_t from, std::uint32_t to) {
+  if (from == to) return 0;
+  switch (kind) {
+    case Topology::kIdeal:
+    case Topology::kBus:
+    case Topology::kCrossbar:
+      return 1;  // one medium / one dedicated link per pair
+    case Topology::kRing:
+      return (to + num_clusters - from) % num_clusters;
+  }
+  return 1;
+}
+
 MachineConfig MachineConfig::two_cluster() { return MachineConfig{}; }
 
 MachineConfig MachineConfig::four_cluster() {
@@ -60,6 +74,8 @@ std::string MachineConfig::validate() const {
   if (interconnect.link_latency == 0) return "link_latency must be > 0";
   if (interconnect.copies_per_link_cycle == 0)
     return "copies_per_link_cycle must be > 0";
+  if (steer.contention_weight < 0.0)
+    return "steer.contention_weight must be >= 0";
   return "";
 }
 

@@ -31,6 +31,29 @@ struct TopologyConfig {
   std::uint32_t copies_per_link_cycle = 1;
 };
 
+/// Links a copy from `from` to `to` traverses on a `kind` fabric with
+/// `num_clusters` clusters (0 when from == to). Single source of truth for
+/// the hop count: the simulator's Interconnect::distance and the compiler's
+/// per-pair communication-cost matrices both derive from it, so the
+/// software estimate can never drift from the modeled fabric. The ring is
+/// unidirectional, so its distance is directed: d(0,1)=1 but d(1,0)=n-1.
+std::uint32_t topology_distance(Topology kind, std::uint32_t num_clusters,
+                                std::uint32_t from, std::uint32_t to);
+
+/// Steering-policy knobs that are machine configuration (swept like any
+/// other axis, part of the exec cache key) rather than per-scheme options.
+struct SteerConfig {
+  /// When set, the hardware policies weigh candidate clusters by topology
+  /// hop count and observed link contention instead of the flat occupancy
+  /// tiebreak, and the software passes use the per-pair topology cost
+  /// matrix instead of a scalar comm_cost. Off reproduces the flat
+  /// (pre-topology) behaviour bit-identically.
+  bool topology_aware = false;
+  /// Weight of the observed-congestion term (recent per-link wait EWMA,
+  /// cycles) relative to the static hop cost in the topology-aware score.
+  double contention_weight = 1.0;
+};
+
 /// Cache geometry + timing for one level of the hierarchy.
 struct CacheConfig {
   std::uint32_t size_bytes = 0;
@@ -68,6 +91,9 @@ struct MachineConfig {
 
   // --- Inter-cluster communication ---
   TopologyConfig interconnect;
+
+  // --- Steering (cross-scheme hardware/software knobs) ---
+  SteerConfig steer;
 
   // --- Memory system ---
   CacheConfig l1d{/*size=*/32 * 1024, /*assoc=*/4, /*line=*/64, /*lat=*/3};

@@ -11,6 +11,11 @@ namespace vcsteer::compiler {
 
 ObPassStats assign_ob(prog::Program& program, const ObOptions& options) {
   VCSTEER_CHECK(options.num_clusters >= 1 && options.num_clusters <= 127);
+  VCSTEER_CHECK_MSG(options.comm_cost_matrix.empty() ||
+                        options.comm_cost_matrix.size() ==
+                            static_cast<std::size_t>(options.num_clusters) *
+                                options.num_clusters,
+                    "comm_cost_matrix must be num_clusters x num_clusters");
   ObPassStats stats;
 
   std::vector<std::uint8_t> cluster_of;
@@ -45,7 +50,15 @@ ObPassStats assign_ob(prog::Program& program, const ObOptions& options) {
         for (std::uint32_t c = 0; c < options.num_clusters; ++c) {
           double ready = 0.0;
           for (const graph::HalfEdge& e : ddg.graph.preds(i)) {
-            const double comm = cluster_of[e.to] == c ? 0.0 : options.comm_cost;
+            // Per-pair topology estimate when provided, flat scalar else.
+            const double comm =
+                cluster_of[e.to] == c
+                    ? 0.0
+                    : (options.comm_cost_matrix.empty()
+                           ? options.comm_cost
+                           : options.comm_cost_matrix[cluster_of[e.to] *
+                                                          options.num_clusters +
+                                                      c]);
             ready = std::max(ready, est[e.to] + comm);
           }
           const double completion = ready + lat;

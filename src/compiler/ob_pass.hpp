@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "program/program.hpp"
 
@@ -21,6 +22,11 @@ namespace vcsteer::compiler {
 struct ObOptions {
   std::uint32_t num_clusters = 2;
   double comm_cost = 2.0;     ///< estimated inter-cluster copy cost, cycles.
+  /// Optional per-pair cost (row-major num_clusters^2): entry [p * n + c]
+  /// estimates consuming in cluster c a value placed in cluster p, derived
+  /// from the target fabric (see harness::comm_cost_matrix). Empty falls
+  /// back to the scalar comm_cost — the flat estimate, bit-identical.
+  std::vector<double> comm_cost_matrix;
   double issue_width = 2.0;   ///< per-cluster issue bandwidth estimate.
 };
 

@@ -19,6 +19,13 @@ void partition_region(prog::Program& program, const RegionDdg& ddg,
                       std::vector<std::uint8_t>& vc_of) {
   const std::size_t n = ddg.uop_of.size();
   const std::uint32_t v_count = opt.num_vcs;
+  // Per-pair communication estimate: topology cost matrix when provided,
+  // the flat scalar otherwise (identical for every pair).
+  auto pair_cost = [&opt, v_count](std::uint8_t from, std::uint32_t to) {
+    return opt.comm_cost_matrix.empty()
+               ? opt.comm_cost
+               : opt.comm_cost_matrix[from * v_count + to];
+  };
 
   // est[i]: estimated completion time of node i in its assigned VC.
   std::vector<double> est(n, 0.0);
@@ -38,7 +45,7 @@ void partition_region(prog::Program& program, const RegionDdg& ddg,
       // estimate on top of the producer's completion time.
       double ready = 0.0;
       for (const graph::HalfEdge& e : ddg.graph.preds(i)) {
-        const double comm = vc_of[e.to] == v ? 0.0 : opt.comm_cost;
+        const double comm = vc_of[e.to] == v ? 0.0 : pair_cost(vc_of[e.to], v);
         ready = std::max(ready, est[e.to] + comm);
       }
       // Contention: the VC issues opt.issue_width work per cycle; vc_front
@@ -106,6 +113,11 @@ VcPassStats assign_virtual_clusters(prog::Program& program,
                                     const VcOptions& options) {
   VCSTEER_CHECK(options.num_vcs >= 1 &&
                 options.num_vcs < isa::SteerHint::kNoVc);
+  VCSTEER_CHECK_MSG(options.comm_cost_matrix.empty() ||
+                        options.comm_cost_matrix.size() ==
+                            static_cast<std::size_t>(options.num_vcs) *
+                                options.num_vcs,
+                    "comm_cost_matrix must be num_vcs x num_vcs");
   VcPassStats stats;
   std::vector<std::uint8_t> vc_of;
   for (const Region& region : form_regions(program)) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "program/program.hpp"
 
@@ -29,6 +30,12 @@ struct VcOptions {
   /// Estimated cost of consuming a value produced in another VC (copy issue
   /// + link), in cycles. Compile-time estimate of the runtime penalty.
   double comm_cost = 2.0;
+  /// Optional per-pair cost (row-major num_vcs^2): comm_cost_matrix[u *
+  /// num_vcs + v] estimates consuming in VC v a value produced in VC u,
+  /// derived from the target fabric's topology (see
+  /// harness::comm_cost_matrix). Empty falls back to the scalar comm_cost
+  /// for every pair — the flat pre-topology estimate, bit-identical.
+  std::vector<double> comm_cost_matrix;
   /// Per-VC issue bandwidth assumed by the contention model (matches the
   /// per-cluster issue width of the target machine).
   double issue_width = 2.0;

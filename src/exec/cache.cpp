@@ -43,10 +43,12 @@ void write_sim_stats(FieldWriter& w, std::string_view prefix,
   f("copy_hops", s.copy_hops);
   f("link_busy_cycles", s.link_busy_cycles);
   f("link_contention_cycles", s.link_contention_cycles);
+  f("avoided_contended_links", s.avoided_contended_links);
   for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
     f("dispatched_to." + std::to_string(c), s.dispatched_to[c]);
     f("occupancy_sum." + std::to_string(c), s.occupancy_sum[c]);
     f("copyq_occupancy_sum." + std::to_string(c), s.copyq_occupancy_sum[c]);
+    f("remote_steers_by_hops." + std::to_string(c), s.remote_steers_by_hops[c]);
   }
   f("memory.loads", s.memory.loads);
   f("memory.stores", s.memory.stores);
@@ -109,12 +111,15 @@ bool read_sim_stats(const FieldMap& m, std::string_view prefix,
             f("copies_routed", &s->copies_routed) &&
             f("copy_hops", &s->copy_hops) &&
             f("link_busy_cycles", &s->link_busy_cycles) &&
-            f("link_contention_cycles", &s->link_contention_cycles);
+            f("link_contention_cycles", &s->link_contention_cycles) &&
+            f("avoided_contended_links", &s->avoided_contended_links);
   for (std::uint32_t c = 0; ok && c < sim::kMaxClusters; ++c) {
     ok = f("dispatched_to." + std::to_string(c), &s->dispatched_to[c]) &&
          f("occupancy_sum." + std::to_string(c), &s->occupancy_sum[c]) &&
          f("copyq_occupancy_sum." + std::to_string(c),
-           &s->copyq_occupancy_sum[c]);
+           &s->copyq_occupancy_sum[c]) &&
+         f("remote_steers_by_hops." + std::to_string(c),
+           &s->remote_steers_by_hops[c]);
   }
   return ok && f("memory.loads", &s->memory.loads) &&
          f("memory.stores", &s->memory.stores) &&
@@ -152,7 +157,7 @@ std::string cache_key(const workload::WorkloadProfile& p,
                       const harness::SimBudget& budget,
                       std::string_view custom_tag) {
   FieldWriter w;
-  w.field("format", std::uint64_t{2});  // 2: + topology, interconnect stats
+  w.field("format", std::uint64_t{3});  // 3: + topology-aware steering
   // Workload profile — every generator input.
   w.field("profile.name", p.name);
   w.field("profile.is_fp", std::uint64_t{p.is_fp});
@@ -198,6 +203,9 @@ std::string cache_key(const workload::WorkloadProfile& p,
           std::uint64_t{m.interconnect.copies_per_link_cycle});
   w.field("machine.topology",
           std::uint64_t{static_cast<unsigned>(m.interconnect.kind)});
+  w.field("machine.steer.topology_aware",
+          std::uint64_t{m.steer.topology_aware});
+  w.field("machine.steer.contention_weight", m.steer.contention_weight);
   for (const auto& [tag, cache] :
        {std::pair<const char*, const CacheConfig&>{"l1d", m.l1d},
         std::pair<const char*, const CacheConfig&>{"l2", m.l2}}) {
@@ -266,6 +274,8 @@ bool ResultCache::load(const std::string& key,
       !get_double(fields, "copy_hops_per_kuop", &r.copy_hops_per_kuop) ||
       !get_double(fields, "link_contention_per_kuop",
                   &r.link_contention_per_kuop) ||
+      !get_double(fields, "avoided_contended_per_kuop",
+                  &r.avoided_contended_per_kuop) ||
       !get_u64(fields, "committed_uops", &r.committed_uops) ||
       !get_u64(fields, "cycles", &r.cycles) ||
       !get_u64(fields, "num_points", &r.num_points) ||
@@ -287,6 +297,7 @@ void ResultCache::store(const std::string& key,
   w.field("policy_stalls_per_kuop", result.policy_stalls_per_kuop);
   w.field("copy_hops_per_kuop", result.copy_hops_per_kuop);
   w.field("link_contention_per_kuop", result.link_contention_per_kuop);
+  w.field("avoided_contended_per_kuop", result.avoided_contended_per_kuop);
   w.field("committed_uops", result.committed_uops);
   w.field("cycles", result.cycles);
   w.field("num_points", result.num_points);

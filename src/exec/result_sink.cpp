@@ -60,6 +60,7 @@ void ResultSink::write_json(std::ostream& os) const {
        << ",\"policy_stalls_per_kuop\":" << num(r.policy_stalls_per_kuop)
        << ",\"copy_hops_per_kuop\":" << num(r.copy_hops_per_kuop)
        << ",\"link_contention_per_kuop\":" << num(r.link_contention_per_kuop)
+       << ",\"avoided_contended_per_kuop\":" << num(r.avoided_contended_per_kuop)
        << ",\"committed_uops\":" << r.committed_uops
        << ",\"cycles\":" << r.cycles << "}";
   }

@@ -1,5 +1,8 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/check.hpp"
 #include "compiler/ob_pass.hpp"
 #include "compiler/rhop_pass.hpp"
@@ -17,6 +20,35 @@ std::string SchemeSpec::label(const MachineConfig& machine) const {
          std::to_string(machine.num_clusters) + ")";
 }
 
+std::vector<double> comm_cost_matrix(const MachineConfig& machine,
+                                     std::uint32_t n, double per_hop,
+                                     double fixed) {
+  VCSTEER_CHECK(n >= 1);
+  std::vector<double> cost(static_cast<std::size_t>(n) * n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::uint32_t hops = std::max(
+          1u, topology_distance(machine.interconnect.kind,
+                                machine.num_clusters, i % machine.num_clusters,
+                                j % machine.num_clusters));
+      cost[i * n + j] = fixed + per_hop * static_cast<double>(hops);
+    }
+  }
+  return cost;
+}
+
+double min_comm_cost(const std::vector<double>& matrix, std::uint32_t n) {
+  VCSTEER_CHECK(matrix.size() == static_cast<std::size_t>(n) * n);
+  double best = std::numeric_limits<double>::max();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i != j) best = std::min(best, matrix[i * n + j]);
+    }
+  }
+  return n > 1 ? best : 0.0;
+}
+
 void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
                          const MachineConfig& machine) {
   program.clear_hints();
@@ -27,7 +59,13 @@ void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
       // SPDI models a cheap operand network (EDGE grids), so it
       // underestimates the copy cost of a clustered machine and splits
       // chains more freely than VC does — the copy excess of Fig. 6(a.1).
-      opt.comm_cost = 0.5;
+      // Half a cycle per hop, no fixed cost: the flat scalar is the
+      // nearest-neighbour entry of this matrix (0.5).
+      const std::vector<double> matrix =
+          comm_cost_matrix(machine, machine.num_clusters, /*per_hop=*/0.5,
+                           /*fixed=*/0.0);
+      opt.comm_cost = min_comm_cost(matrix, machine.num_clusters);
+      if (machine.steer.topology_aware) opt.comm_cost_matrix = matrix;
       opt.issue_width = machine.issue_width_int;
       compiler::assign_ob(program, opt);
       break;
@@ -45,7 +83,16 @@ void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
     case steer::Scheme::kVc: {
       compiler::VcOptions opt;
       opt.num_vcs = spec.num_vcs == 0 ? machine.num_clusters : spec.num_vcs;
-      opt.comm_cost = machine.interconnect.link_latency + 1.0;
+      // One link transit per hop plus one cycle of copy issue/writeback.
+      // The scalar estimate is the matrix's nearest-neighbour entry
+      // (link_latency + 1 on every topology — the pre-topology value);
+      // topology-aware runs hand the pass the full per-pair matrix.
+      const std::vector<double> matrix = comm_cost_matrix(
+          machine, opt.num_vcs,
+          /*per_hop=*/static_cast<double>(machine.interconnect.link_latency),
+          /*fixed=*/1.0);
+      opt.comm_cost = min_comm_cost(matrix, opt.num_vcs);
+      if (machine.steer.topology_aware) opt.comm_cost_matrix = matrix;
       opt.issue_width = machine.issue_width_int;
       if (spec.vc_min_leader_chain != 0) {
         opt.min_leader_chain = spec.vc_min_leader_chain;
@@ -116,7 +163,7 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
 
   sim::ClusteredCore core(machine_, wl_.program);
   double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
-         w_policy = 0.0, w_hops = 0.0, w_contention = 0.0;
+         w_policy = 0.0, w_hops = 0.0, w_contention = 0.0, w_avoided = 0.0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const double w = points_[i].weight;
     const sim::SimStats stats = core.run(intervals_[i], policy, warm_addrs_[i]);
@@ -127,6 +174,7 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
     w_policy += w * static_cast<double>(stats.policy_stalls);
     w_hops += w * static_cast<double>(stats.copy_hops);
     w_contention += w * static_cast<double>(stats.link_contention_cycles);
+    w_avoided += w * static_cast<double>(stats.avoided_contended_links);
     result.committed_uops += stats.committed_uops;
     result.cycles += stats.cycles;
     result.last_interval = stats;
@@ -138,6 +186,7 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
   result.policy_stalls_per_kuop = 1000.0 * w_policy / w_uops;
   result.copy_hops_per_kuop = 1000.0 * w_hops / w_uops;
   result.link_contention_per_kuop = 1000.0 * w_contention / w_uops;
+  result.avoided_contended_per_kuop = 1000.0 * w_avoided / w_uops;
   return result;
 }
 

@@ -57,6 +57,9 @@ struct RunResult {
   double policy_stalls_per_kuop = 0.0;
   double copy_hops_per_kuop = 0.0;        ///< interconnect links traversed.
   double link_contention_per_kuop = 0.0;  ///< cycles copies waited on links.
+  /// Topology-aware decisions that dodged a farther/contended cluster
+  /// (SimStats::avoided_contended_links); 0 with flat steering.
+  double avoided_contended_per_kuop = 0.0;
   std::uint64_t committed_uops = 0;  ///< total over simulated intervals.
   std::uint64_t cycles = 0;          ///< total over simulated intervals.
   std::uint64_t num_points = 0;      ///< simulation points aggregated.
@@ -96,8 +99,30 @@ class TraceExperiment {
   std::vector<std::vector<std::uint64_t>> warm_addrs_;
 };
 
+/// Per-pair compile-time communication-cost matrix for `n` placement
+/// targets (virtual clusters or physical clusters) on `machine`'s fabric,
+/// row-major n^2: cost(i, j) = fixed + per_hop * hops for i != j, 0 on the
+/// diagonal. Hops come from the active topology (common/config.hpp
+/// topology_distance); targets map onto physical clusters modulo
+/// num_clusters and distinct targets are never estimated closer than one
+/// hop (two VCs sharing a physical cluster today may be remapped apart at
+/// any chain leader).
+std::vector<double> comm_cost_matrix(const MachineConfig& machine,
+                                     std::uint32_t n, double per_hop,
+                                     double fixed);
+
+/// Smallest off-diagonal entry of an n x n cost matrix: the
+/// nearest-neighbour communication cost, which is what the flat (scalar)
+/// software passes charge every pair. Equals fixed + per_hop on every
+/// supported topology, so deriving the scalar this way reproduces the
+/// pre-topology estimates bit-identically.
+double min_comm_cost(const std::vector<double>& matrix, std::uint32_t n);
+
 /// Runs the software pass of `spec` over `program` (clearing previous
-/// hints). No-op for hardware-only schemes. Exposed for tests/examples.
+/// hints). No-op for hardware-only schemes. When
+/// machine.steer.topology_aware is set, the OB and VC passes estimate
+/// communication with the per-pair topology matrix instead of the flat
+/// nearest-neighbour scalar.
 void annotate_for_scheme(prog::Program& program, const SchemeSpec& spec,
                          const MachineConfig& machine);
 

@@ -85,6 +85,11 @@ std::uint32_t ClusteredCore::copy_distance(std::uint32_t from,
   return copies_.interconnect().distance(from, to);
 }
 
+double ClusteredCore::link_congestion(std::uint32_t from,
+                                      std::uint32_t to) const {
+  return copies_.interconnect().congestion(from, to);
+}
+
 // ------------------------------------------------------------------ run --
 
 SimStats ClusteredCore::run(std::span<const workload::TraceEntry> trace,
@@ -113,6 +118,7 @@ SimStats ClusteredCore::run(std::span<const workload::TraceEntry> trace,
   }
   state_.stats.cycles = state_.cycle;
   state_.stats.memory = memory_.stats();
+  state_.stats.avoided_contended_links = policy.avoided_contended_links();
   copies_.flush_stats();
   return state_.stats;
 }

@@ -62,6 +62,7 @@ class ClusteredCore : public steer::SteerView {
   bool value_in_flight(isa::ArchReg reg) const override;
   std::uint32_t copy_distance(std::uint32_t from,
                               std::uint32_t to) const override;
+  double link_congestion(std::uint32_t from, std::uint32_t to) const override;
 
   const MachineConfig& config() const { return config_; }
   const Interconnect& interconnect() const { return copies_.interconnect(); }

@@ -31,7 +31,8 @@ class IdealInterconnect final : public Interconnect {
 class BusInterconnect final : public Interconnect {
  public:
   explicit BusInterconnect(const MachineConfig& config)
-      : latency_(config.interconnect.link_latency),
+      : n_(config.num_clusters),
+        latency_(config.interconnect.link_latency),
         bandwidth_(config.interconnect.copies_per_link_cycle) {}
 
   std::uint64_t route_copy(std::uint32_t /*from*/, std::uint32_t /*to*/,
@@ -45,7 +46,11 @@ class BusInterconnect final : public Interconnect {
   }
 
   std::uint32_t distance(std::uint32_t from, std::uint32_t to) const override {
-    return from == to ? 0 : 1;
+    return topology_distance(Topology::kBus, n_, from, to);
+  }
+
+  double congestion(std::uint32_t from, std::uint32_t to) const override {
+    return from == to ? 0.0 : bus_.wait_ewma();
   }
 
   const char* name() const override { return "bus"; }
@@ -56,6 +61,7 @@ class BusInterconnect final : public Interconnect {
   }
 
  private:
+  std::uint32_t n_;
   std::uint32_t latency_;
   std::uint32_t bandwidth_;
   LinkState bus_;
@@ -81,7 +87,11 @@ class CrossbarInterconnect final : public Interconnect {
   }
 
   std::uint32_t distance(std::uint32_t from, std::uint32_t to) const override {
-    return from == to ? 0 : 1;
+    return topology_distance(Topology::kCrossbar, n_, from, to);
+  }
+
+  double congestion(std::uint32_t from, std::uint32_t to) const override {
+    return from == to ? 0.0 : links_[from * n_ + to].wait_ewma();
   }
 
   const char* name() const override { return "crossbar"; }
@@ -123,7 +133,16 @@ class RingInterconnect final : public Interconnect {
   }
 
   std::uint32_t distance(std::uint32_t from, std::uint32_t to) const override {
-    return (to + n_ - from) % n_;
+    return topology_distance(Topology::kRing, n_, from, to);
+  }
+
+  double congestion(std::uint32_t from, std::uint32_t to) const override {
+    double sum = 0.0;
+    const std::uint32_t hops = distance(from, to);
+    for (std::uint32_t h = 0; h < hops; ++h) {
+      sum += links_[(from + h) % n_].wait_ewma();
+    }
+    return sum;
   }
 
   const char* name() const override { return "ring"; }
@@ -153,6 +172,7 @@ std::uint64_t LinkState::claim(std::uint64_t earliest,
     t = it->first + 1;
   }
   ++used_[t];
+  wait_ewma_ += (static_cast<double>(t - earliest) - wait_ewma_) / 8.0;
   return t;
 }
 

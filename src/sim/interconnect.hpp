@@ -43,7 +43,10 @@ struct InterconnectStats {
 /// bandwidth at or after a requested cycle.
 class LinkState {
  public:
-  void reset() { used_.clear(); }
+  void reset() {
+    used_.clear();
+    wait_ewma_ = 0.0;
+  }
 
   /// First cycle >= `earliest` with fewer than `bandwidth` claims; records
   /// the claim. Entries before `prune_before` (no future request can claim
@@ -51,8 +54,16 @@ class LinkState {
   std::uint64_t claim(std::uint64_t earliest, std::uint64_t prune_before,
                       std::uint32_t bandwidth);
 
+  /// Exponentially weighted moving average of the per-claim wait (cycles a
+  /// copy sat in the network because this link was busy), updated on every
+  /// claim with weight 1/8. This is the cheap recent-congestion signal a
+  /// hardware arbiter could expose to the steering unit: ~0 on an idle
+  /// link, rising towards the steady-state queueing delay under overload.
+  double wait_ewma() const { return wait_ewma_; }
+
  private:
   std::map<std::uint64_t, std::uint32_t> used_;  ///< cycle -> claims.
+  double wait_ewma_ = 0.0;
 };
 
 class Interconnect {
@@ -68,8 +79,19 @@ class Interconnect {
 
   /// Links a copy from `from` to `to` traverses (0 when equal). This is the
   /// static topology distance steering policies may consult through
-  /// SteerView::copy_distance — independent of current load.
+  /// SteerView::copy_distance — independent of current load. Always agrees
+  /// with topology_distance() in common/config.hpp.
   virtual std::uint32_t distance(std::uint32_t from, std::uint32_t to) const = 0;
+
+  /// Recent congestion on the from -> to path: the sum of the wait EWMAs of
+  /// every link the copy would traverse, in cycles of expected extra delay.
+  /// 0 on a contention-free fabric (and always 0 for kIdeal). Steering
+  /// policies read it through SteerView::link_congestion to dodge hot links
+  /// before queueing behind them.
+  virtual double congestion(std::uint32_t /*from*/,
+                            std::uint32_t /*to*/) const {
+    return 0.0;
+  }
 
   virtual const char* name() const = 0;
 

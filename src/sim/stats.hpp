@@ -46,6 +46,16 @@ struct SimStats {
   std::uint64_t link_contention_cycles = 0;   ///< waits for a busy link slot.
   std::array<std::uint64_t, kMaxClusters> copyq_occupancy_sum{};  ///< entries * cycles.
 
+  // Topology-aware steering diagnostics. remote_steers_by_hops[h] counts
+  // copies requested at dispatch whose producer-to-consumer path is h
+  // topology hops long (h >= 1; index capped at kMaxClusters - 1) — the
+  // distance distribution the topology-aware policies try to compress
+  // towards 1. avoided_contended_links counts dispatched decisions where
+  // the topology-aware score diverged from the flat choice to dodge a
+  // farther or more contended cluster (0 when steer.topology_aware is off).
+  std::array<std::uint64_t, kMaxClusters> remote_steers_by_hops{};
+  std::uint64_t avoided_contended_links = 0;
+
   mem::HierarchyStats memory{};
 
   double ipc() const {

@@ -1,5 +1,6 @@
 #include "sim/steer_stage.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "common/check.hpp"
@@ -122,6 +123,9 @@ void SteerStage::dispatch(steer::SteeringPolicy& policy,
     // ---- commit the dispatch ----
     const std::uint64_t seq = commit_.next_seq();
     for (std::uint8_t k = 0; k < num_copies; ++k) {
+      const std::uint32_t hops =
+          view.copy_distance(state_.values[copy_needed[k]].home, c);
+      ++state_.stats.remote_steers_by_hops[std::min(hops, kMaxClusters - 1)];
       const bool ok = copies_.request_copy(copy_needed[k], c, seq);
       VCSTEER_CHECK(ok);
     }

@@ -9,6 +9,15 @@
 // (stall-over-steer): it only diverts when some other cluster is below the
 // occupancy threshold.
 //
+// With MachineConfig::steer.topology_aware set, the vote count is replaced
+// by a communication-cost score: each missing source charges its topology
+// transit (SteerView::copy_distance x link latency) plus the recent
+// congestion on that path (SteerView::link_congestion, weighted by
+// steer.contention_weight), so OP prefers near, quiet clusters over far or
+// contended ones on non-uniform fabrics (ring). On a uniform contention-free
+// fabric the score degenerates to the vote count; with the knob off the
+// original flat path runs unchanged, bit for bit.
+//
 // ParallelOpPolicy makes the same decision from the *cycle-start* rename
 // view (what a single-pass, renaming-like implementation could read), which
 // is exactly the degradation the paper's §2.1 example illustrates.
@@ -23,7 +32,15 @@ class OpPolicy : public SteeringPolicy {
   explicit OpPolicy(const MachineConfig& config) : config_(config) {}
 
   SteerDecision choose(const isa::MicroOp& uop, const SteerView& view) override;
+  void on_dispatched(const isa::MicroOp& uop, std::uint32_t cluster) override;
+  void reset() override;
   std::string name() const override { return "OP"; }
+
+  /// Dispatches where the topology-aware score dodged the flat pick's
+  /// farther/more-contended cluster (SimStats::avoided_contended_links).
+  std::uint64_t avoided_contended_links() const override {
+    return avoided_contended_;
+  }
 
  protected:
   /// Hook distinguishing the sequential and parallel variants.
@@ -34,6 +51,20 @@ class OpPolicy : public SteeringPolicy {
   virtual bool replica_aware() const { return true; }
 
   MachineConfig config_;
+
+ private:
+  /// The original occupancy-aware preference: most votes, ties to load.
+  std::uint32_t flat_preferred(const isa::MicroOp& uop,
+                               const SteerView& view) const;
+  /// Topology-aware preference: least estimated communication cost, ties to
+  /// load. Records the avoided-contended candidate for on_dispatched.
+  std::uint32_t aware_preferred(const isa::MicroOp& uop, const SteerView& view);
+  /// Estimated communication cycles of steering `uop` to `cluster`.
+  double comm_cost(const isa::MicroOp& uop, const SteerView& view,
+                   std::uint32_t cluster) const;
+
+  std::uint64_t avoided_contended_ = 0;
+  int pending_avoided_cluster_ = -1;
 };
 
 class ParallelOpPolicy : public OpPolicy {

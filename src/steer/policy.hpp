@@ -73,6 +73,17 @@ class SteerView {
                                       std::uint32_t to) const {
     return from == to ? 0 : 1;
   }
+
+  /// Recent congestion on the copy path from `from` to `to`, in cycles of
+  /// expected extra wait (an EWMA of observed per-link arbitration waits —
+  /// see sim/interconnect.hpp). Contention-free by default so mocks and
+  /// topology-blind policies are unaffected; the simulator overrides it
+  /// with the live interconnect signal, letting topology-aware policies
+  /// dodge hot links before queueing behind them.
+  virtual double link_congestion(std::uint32_t /*from*/,
+                                 std::uint32_t /*to*/) const {
+    return 0.0;
+  }
 };
 
 struct SteerDecision {
@@ -103,6 +114,13 @@ class SteeringPolicy {
   /// result can fail to dispatch when downstream resources are full).
   virtual void on_dispatched(const isa::MicroOp& /*uop*/,
                              std::uint32_t /*cluster*/) {}
+
+  /// Dispatched decisions where a topology-aware policy diverged from the
+  /// choice its flat (topology-blind) scoring would have made, to dodge a
+  /// farther or more contended cluster. 0 for policies without a
+  /// topology-aware mode; the simulator surfaces it as
+  /// SimStats::avoided_contended_links.
+  virtual std::uint64_t avoided_contended_links() const { return 0; }
 
   virtual void reset() {}
   virtual std::string name() const = 0;

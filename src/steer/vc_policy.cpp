@@ -7,15 +7,18 @@
 namespace vcsteer::steer {
 
 VcPolicy::VcPolicy(const MachineConfig& config, std::uint32_t num_vcs)
-    : num_vcs_(num_vcs) {
+    : steer_(config.steer),
+      link_latency_(config.interconnect.link_latency),
+      num_vcs_(num_vcs) {
   VCSTEER_CHECK(num_vcs >= 1 && num_vcs < isa::SteerHint::kNoVc);
-  (void)config;
   reset();
 }
 
 void VcPolicy::reset() {
   table_.assign(num_vcs_, kNoHome);
   remaps_ = 0;
+  avoided_contended_ = 0;
+  pending_avoided_cluster_ = -1;
 }
 
 std::string VcPolicy::name() const {
@@ -35,6 +38,38 @@ std::uint32_t VcPolicy::least_loaded(const SteerView& view) const {
   return best;
 }
 
+std::uint32_t VcPolicy::aware_remap(const SteerView& view, int prev) {
+  pending_avoided_cluster_ = -1;
+  if (prev == kNoHome) return least_loaded(view);
+
+  // score(c) = load + move cost from the VC's current cluster: the values
+  // the next chain consumes live where the previous chain ran, so a remap
+  // pays one prev -> c copy path per shared value. Staying put costs no
+  // transit; on a ring the VC drifts to adjacent clusters instead of
+  // bouncing across the whole fabric.
+  const auto p = static_cast<std::uint32_t>(prev);
+  auto score = [&](std::uint32_t c) {
+    return static_cast<double>(view.inflight(c)) +
+           static_cast<double>(view.copy_distance(p, c)) *
+               static_cast<double>(link_latency_) +
+           steer_.contention_weight * view.link_congestion(p, c);
+  };
+  std::uint32_t best = 0;
+  double best_score = std::numeric_limits<double>::max();
+  for (std::uint32_t c = 0; c < view.num_clusters(); ++c) {
+    const double s = score(c);
+    if (s < best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  const std::uint32_t flat = least_loaded(view);
+  if (flat != best && score(flat) > score(best)) {
+    pending_avoided_cluster_ = static_cast<int>(best);
+  }
+  return best;
+}
+
 SteerDecision VcPolicy::choose(const isa::MicroOp& uop,
                                const SteerView& view) {
   // Micro-ops without a VC hint (possible when the software pass never saw
@@ -45,12 +80,20 @@ SteerDecision VcPolicy::choose(const isa::MicroOp& uop,
   const std::uint32_t vc = uop.hint.vc_id % num_vcs_;
   if (uop.hint.chain_leader || table_[vc] == kNoHome) {
     // Figure 4: chain leader -> check workload counters, remap the VC.
+    if (steer_.topology_aware) {
+      return SteerDecision::to(aware_remap(view, table_[vc]));
+    }
     return SteerDecision::to(least_loaded(view));
   }
   return SteerDecision::to(static_cast<std::uint32_t>(table_[vc]));
 }
 
 void VcPolicy::on_dispatched(const isa::MicroOp& uop, std::uint32_t cluster) {
+  if (pending_avoided_cluster_ >= 0 &&
+      static_cast<int>(cluster) == pending_avoided_cluster_) {
+    ++avoided_contended_;
+  }
+  pending_avoided_cluster_ = -1;
   if (!uop.hint.has_vc()) return;
   const std::uint32_t vc = uop.hint.vc_id % num_vcs_;
   if (uop.hint.chain_leader || table_[vc] == kNoHome) {

@@ -7,6 +7,16 @@
 // physical cluster; all following non-leader micro-ops of that VC simply
 // look the mapping up. No dependence checking, no voting, no serialization:
 // the per-micro-op work is one table read (paper Table 1).
+//
+// With MachineConfig::steer.topology_aware set, the leader remap weighs
+// chain locality against balance: consecutive chains of the same VC share
+// live values, so moving the VC from its current cluster p to c costs
+// roughly one copy path p -> c per shared value. The remap score charges
+// each candidate its topology transit from p (copy_distance x link latency)
+// plus the recent congestion on that path on top of the load counter, so a
+// VC hops around a ring instead of bouncing across it — still one table
+// write per leader, using only counters the fabric already exposes. With
+// the knob off the original least-loaded remap runs unchanged, bit for bit.
 #pragma once
 
 #include <vector>
@@ -27,13 +37,24 @@ class VcPolicy : public SteeringPolicy {
   /// Current VC->PC mapping (for tests and diagnostics).
   int mapping(std::uint32_t vc) const { return table_[vc]; }
   std::uint64_t remaps() const { return remaps_; }
+  std::uint64_t avoided_contended_links() const override {
+    return avoided_contended_;
+  }
 
  private:
   std::uint32_t least_loaded(const SteerView& view) const;
+  /// Topology-aware remap target for a VC currently mapped to `prev`
+  /// (kNoHome when unmapped): load plus the transit/congestion cost of
+  /// moving the chain's live values from `prev`.
+  std::uint32_t aware_remap(const SteerView& view, int prev);
 
+  SteerConfig steer_;
+  std::uint32_t link_latency_;
   std::uint32_t num_vcs_;
   std::vector<int> table_;  ///< VC -> physical cluster, kNoHome when unmapped.
   std::uint64_t remaps_ = 0;
+  std::uint64_t avoided_contended_ = 0;
+  int pending_avoided_cluster_ = -1;
 };
 
 }  // namespace vcsteer::steer

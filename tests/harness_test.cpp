@@ -25,6 +25,79 @@ TEST(SchemeSpec, Labels) {
   EXPECT_EQ((SchemeSpec{steer::Scheme::kVc, 2}).label(m4), "VC(2->4)");
 }
 
+// Pins the communication-cost values annotate_for_scheme derives from each
+// topology kind: the scalar fallback is the nearest-neighbour matrix entry
+// (link_latency + 1 on every fabric — the pre-topology estimate, so flat
+// runs stay bit-identical), and the per-pair matrix reflects the directed
+// hop counts of the active topology.
+TEST(Annotate, CommCostMatrixDerivesFromTopology) {
+  auto vc_matrix = [](Topology kind, std::uint32_t link_latency,
+                      std::uint32_t n) {
+    MachineConfig m = MachineConfig::four_cluster();
+    m.interconnect.kind = kind;
+    m.interconnect.link_latency = link_latency;
+    return comm_cost_matrix(
+        m, n, /*per_hop=*/static_cast<double>(link_latency), /*fixed=*/1.0);
+  };
+
+  // Uniform single-hop fabrics: every off-diagonal pair costs latency + 1.
+  for (const Topology kind :
+       {Topology::kIdeal, Topology::kBus, Topology::kCrossbar}) {
+    const std::vector<double> m = vc_matrix(kind, 2, 4);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        EXPECT_DOUBLE_EQ(m[i * 4 + j], i == j ? 0.0 : 3.0)
+            << topology_name(kind);
+      }
+    }
+    EXPECT_DOUBLE_EQ(min_comm_cost(m, 4), 3.0);
+  }
+
+  // Ring, latency 2: directed hops, 2 * hops + 1 per pair.
+  const std::vector<double> ring = vc_matrix(Topology::kRing, 2, 4);
+  EXPECT_DOUBLE_EQ(ring[0 * 4 + 1], 3.0);   // 1 hop forward
+  EXPECT_DOUBLE_EQ(ring[0 * 4 + 2], 5.0);   // 2 hops
+  EXPECT_DOUBLE_EQ(ring[0 * 4 + 3], 7.0);   // 3 hops
+  EXPECT_DOUBLE_EQ(ring[3 * 4 + 0], 3.0);   // wrap-around is 1 hop
+  EXPECT_DOUBLE_EQ(ring[1 * 4 + 0], 7.0);   // backwards = the long way
+  EXPECT_DOUBLE_EQ(ring[2 * 4 + 2], 0.0);
+  // The scalar the flat pass uses is the nearest-neighbour entry — exactly
+  // the historical link_latency + 1, even on the non-uniform ring.
+  EXPECT_DOUBLE_EQ(min_comm_cost(ring, 4), 3.0);
+
+  // VC(2->4): two virtual clusters mapped onto clusters 0 and 1.
+  const std::vector<double> vc24 = vc_matrix(Topology::kRing, 1, 2);
+  EXPECT_DOUBLE_EQ(vc24[0 * 2 + 1], 2.0);  // d(0,1) = 1 hop
+  EXPECT_DOUBLE_EQ(vc24[1 * 2 + 0], 4.0);  // d(1,0) = 3 hops
+  EXPECT_DOUBLE_EQ(min_comm_cost(vc24, 2), 2.0);
+
+  // More placement targets than clusters: aliased targets (0 and 4 both
+  // map to cluster 0) are still estimated at least one hop apart.
+  MachineConfig m = MachineConfig::four_cluster();
+  const std::vector<double> wide = comm_cost_matrix(m, 5, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(wide[0 * 5 + 4], 2.0);
+  EXPECT_DOUBLE_EQ(wide[4 * 5 + 0], 2.0);
+}
+
+TEST(Annotate, TopologyAwareKnobHandsThePassesTheMatrix) {
+  // Flat and aware annotation agree on the ideal fabric (the matrix is the
+  // scalar replicated), so the knob cannot perturb Table-2 results; on the
+  // ring they may legitimately place differently.
+  workload::GeneratedWorkload flat_wl = workload::generate(smoke_profile());
+  workload::GeneratedWorkload aware_wl = workload::generate(smoke_profile());
+  MachineConfig ideal = MachineConfig::four_cluster();
+  MachineConfig aware_ideal = ideal;
+  aware_ideal.steer.topology_aware = true;
+  annotate_for_scheme(flat_wl.program, {steer::Scheme::kVc, 2}, ideal);
+  annotate_for_scheme(aware_wl.program, {steer::Scheme::kVc, 2}, aware_ideal);
+  for (prog::UopId u = 0; u < flat_wl.program.num_uops(); ++u) {
+    ASSERT_EQ(flat_wl.program.uop(u).hint.vc_id,
+              aware_wl.program.uop(u).hint.vc_id);
+    ASSERT_EQ(flat_wl.program.uop(u).hint.chain_leader,
+              aware_wl.program.uop(u).hint.chain_leader);
+  }
+}
+
 TEST(Annotate, VcSchemeSetsVcHints) {
   workload::GeneratedWorkload wl = workload::generate(smoke_profile());
   annotate_for_scheme(wl.program, {steer::Scheme::kVc, 2},

@@ -3,11 +3,20 @@
 // crossbar-with-unlimited-links == ideal-link equivalence (unit level and
 // bit-for-bit at the simulator level), contention surfacing in SimStats,
 // and sweep determinism (--jobs 8 == --jobs 1) for every topology.
+//
+// Property section: for every topology, distance() is zero iff from == to,
+// agrees with the shared topology_distance() helper (which the compiler
+// cost matrices derive from), respects the triangle inequality, is
+// symmetric on the single-medium fabrics and a directed hop count with
+// n-cycle round trips on the ring; random traffic conserves copies
+// (injected == delivered, hops == sum of path distances) and the
+// congestion EWMA tracks observed waits.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "exec/sweep.hpp"
 #include "program/program.hpp"
 #include "sim/core.hpp"
@@ -33,6 +42,7 @@ MachineConfig machine_with(std::uint32_t clusters, Topology kind,
                            std::uint32_t latency = 1) {
   MachineConfig cfg = clusters == 2 ? MachineConfig::two_cluster()
                                     : MachineConfig::four_cluster();
+  cfg.num_clusters = clusters;  // presets only cover 2/4; tests go to 8
   cfg.interconnect.kind = kind;
   cfg.interconnect.copies_per_link_cycle = bandwidth;
   cfg.interconnect.link_latency = latency;
@@ -179,6 +189,170 @@ TEST(Interconnect, RingPaysOneLatencyPerHopAndSerialisesSharedLinks) {
   const auto slow = make_interconnect(
       machine_with(4, Topology::kRing, /*bandwidth=*/1, /*latency=*/3));
   EXPECT_EQ(slow->route_copy(0, 3, 10), 19u);  // 3 hops x 3 cycles
+}
+
+// --------------------------------------------------------- property level --
+
+constexpr Topology kAllTopologies[] = {Topology::kIdeal, Topology::kBus,
+                                       Topology::kRing, Topology::kCrossbar};
+
+TEST(InterconnectProperties, DistanceZeroIffEqualAndMatchesSharedHelper) {
+  for (const Topology kind : kAllTopologies) {
+    for (const std::uint32_t n : {2u, 4u, 8u}) {
+      const auto ic = make_interconnect(machine_with(n, kind));
+      for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = 0; b < n; ++b) {
+          const std::uint32_t d = ic->distance(a, b);
+          EXPECT_EQ(d == 0, a == b) << ic->name() << " n=" << n;
+          EXPECT_EQ(d, topology_distance(kind, n, a, b))
+              << ic->name() << " n=" << n << " " << a << "->" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(InterconnectProperties, TriangleInequalityHoldsOnEveryTopology) {
+  for (const Topology kind : kAllTopologies) {
+    for (const std::uint32_t n : {2u, 4u, 8u}) {
+      const auto ic = make_interconnect(machine_with(n, kind));
+      for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = 0; b < n; ++b) {
+          for (std::uint32_t c = 0; c < n; ++c) {
+            EXPECT_LE(ic->distance(a, c),
+                      ic->distance(a, b) + ic->distance(b, c))
+                << ic->name() << " n=" << n << " via " << b;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(InterconnectProperties, SingleMediumFabricsAreSymmetricSingleHop) {
+  // Ideal, bus and crossbar place every ordered pair one (symmetric) hop
+  // apart — the crossbar's dedicated links are all length 1.
+  for (const Topology kind :
+       {Topology::kIdeal, Topology::kBus, Topology::kCrossbar}) {
+    const auto ic = make_interconnect(machine_with(4, kind));
+    for (std::uint32_t a = 0; a < 4; ++a) {
+      for (std::uint32_t b = 0; b < 4; ++b) {
+        if (a == b) continue;
+        EXPECT_EQ(ic->distance(a, b), 1u) << ic->name();
+        EXPECT_EQ(ic->distance(a, b), ic->distance(b, a)) << ic->name();
+      }
+    }
+  }
+}
+
+TEST(InterconnectProperties, RingDistanceIsDirectedWithFullRoundTrips) {
+  // The unidirectional ring is the one asymmetric fabric: going back means
+  // going the long way round, so every a != b round trip is exactly n hops.
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    const auto ic = make_interconnect(machine_with(n, Topology::kRing));
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = 0; b < n; ++b) {
+        EXPECT_EQ(ic->distance(a, b), (b + n - a) % n);
+        if (a != b) {
+          EXPECT_EQ(ic->distance(a, b) + ic->distance(b, a), n);
+        }
+      }
+    }
+  }
+}
+
+TEST(InterconnectProperties, RandomTrafficConservesCopiesAndHops) {
+  // Every injected copy is delivered exactly once (copies_routed == calls),
+  // traverses exactly its path's links (copy_hops == sum of distances), and
+  // never arrives before the contention-free transit time.
+  for (const Topology kind : kAllTopologies) {
+    const auto ic = make_interconnect(
+        machine_with(4, kind, /*bandwidth=*/1, /*latency=*/2));
+    Rng rng("conservation", static_cast<std::uint64_t>(kind));
+    std::uint64_t cycle = 0;
+    std::uint64_t expected_hops = 0;
+    const std::uint64_t kCopies = 500;
+    for (std::uint64_t i = 0; i < kCopies; ++i) {
+      cycle += rng() % 3;  // nondecreasing request cycles, frequent bursts
+      const auto from = static_cast<std::uint32_t>(rng() % 4);
+      auto to = static_cast<std::uint32_t>(rng() % 4);
+      if (to == from) to = (to + 1) % 4;
+      const std::uint32_t hops = ic->distance(from, to);
+      expected_hops += hops;
+      const std::uint64_t arrival = ic->route_copy(from, to, cycle);
+      EXPECT_GE(arrival, cycle + 2ull * hops) << ic->name();
+    }
+    EXPECT_EQ(ic->stats().copies_routed, kCopies) << ic->name();
+    EXPECT_EQ(ic->stats().copy_hops, expected_hops) << ic->name();
+    EXPECT_EQ(ic->stats().link_busy_cycles, expected_hops) << ic->name();
+  }
+}
+
+TEST(InterconnectProperties, SimLevelConservationForEveryTopology) {
+  // End to end: every copy the dispatch stage generates is injected into
+  // the network exactly once, on every topology.
+  for (const Topology kind : kAllTopologies) {
+    const SimStats stats = fan_in_bench().run(machine_with(4, kind));
+    EXPECT_GT(stats.copies_generated, 0u);
+    EXPECT_EQ(stats.copies_routed, stats.copies_generated)
+        << topology_name(kind);
+  }
+}
+
+// ------------------------------------------------------- congestion EWMA --
+
+TEST(InterconnectCongestion, IdleLinksReportZeroAndIdealAlwaysDoes) {
+  const auto ideal = make_interconnect(machine_with(4, Topology::kIdeal));
+  const auto bus = make_interconnect(machine_with(4, Topology::kBus));
+  EXPECT_EQ(bus->congestion(0, 1), 0.0);
+  for (int i = 0; i < 50; ++i) {
+    ideal->route_copy(0, 1, 10);
+    bus->route_copy(0, 1, static_cast<std::uint64_t>(100 + 10 * i));
+  }
+  EXPECT_EQ(ideal->congestion(0, 1), 0.0);  // contention-free by definition
+  EXPECT_EQ(bus->congestion(0, 1), 0.0);    // spaced-out traffic never waits
+  EXPECT_EQ(bus->congestion(2, 2), 0.0);    // self path is free
+}
+
+TEST(InterconnectCongestion, BusEwmaRisesUnderContentionAndDecaysAfter) {
+  const auto bus = make_interconnect(machine_with(4, Topology::kBus));
+  for (int i = 0; i < 32; ++i) bus->route_copy(i % 3, 3, 10);  // same cycle
+  const double hot = bus->congestion(0, 1);
+  EXPECT_GT(hot, 1.0);  // waits grew linearly; EWMA follows them up
+  // The shared medium reports the same signal for every pair.
+  EXPECT_EQ(bus->congestion(2, 0), hot);
+  // Conflict-free traffic far in the future pulls the EWMA back down.
+  for (int i = 0; i < 32; ++i) {
+    bus->route_copy(0, 1, static_cast<std::uint64_t>(1000 + 10 * i));
+  }
+  EXPECT_LT(bus->congestion(0, 1), hot / 10.0);
+}
+
+TEST(InterconnectCongestion, CrossbarIsolatesPairsAndRingSumsPathLinks) {
+  const auto xbar = make_interconnect(machine_with(4, Topology::kCrossbar));
+  for (int i = 0; i < 16; ++i) xbar->route_copy(0, 1, 10);
+  EXPECT_GT(xbar->congestion(0, 1), 1.0);
+  EXPECT_EQ(xbar->congestion(1, 0), 0.0);  // dedicated reverse link is idle
+  EXPECT_EQ(xbar->congestion(2, 3), 0.0);
+
+  const auto ring = make_interconnect(machine_with(4, Topology::kRing));
+  for (int i = 0; i < 16; ++i) ring->route_copy(1, 2, 10);  // hammer link 1->2
+  const double link = ring->congestion(1, 2);
+  EXPECT_GT(link, 1.0);
+  // Any path crossing the hot 1->2 link inherits its wait estimate...
+  EXPECT_GE(ring->congestion(0, 2), link);
+  EXPECT_GE(ring->congestion(1, 3), link);
+  // ...and the disjoint 3->0 hop stays clean.
+  EXPECT_EQ(ring->congestion(3, 0), 0.0);
+}
+
+TEST(InterconnectCongestion, ResetClearsTheSignal) {
+  const auto bus = make_interconnect(machine_with(4, Topology::kBus));
+  for (int i = 0; i < 16; ++i) bus->route_copy(0, 1, 10);
+  EXPECT_GT(bus->congestion(0, 1), 0.0);
+  bus->reset();
+  EXPECT_EQ(bus->congestion(0, 1), 0.0);
+  EXPECT_EQ(bus->stats().copies_routed, 0u);
 }
 
 // --------------------------------------------------------- simulator level --

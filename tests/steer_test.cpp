@@ -1,10 +1,11 @@
-// Tests for the steering policies against a mock SteerView: OP preference /
-// tie-break / stall-over-steer, the VC mapping table and chain-leader
-// remapping, the static follower and the factory.
+// Tests for the steering policies against the scriptable FakeSteerView
+// (tests/fake_steer_view.hpp): OP preference / tie-break / stall-over-steer,
+// the topology-aware OP and VC paths (hand-built occupancy / distance /
+// contention scenarios), the VC mapping table and chain-leader remapping,
+// the static follower and the factory.
 #include <gtest/gtest.h>
 
-#include <array>
-
+#include "fake_steer_view.hpp"
 #include "steer/mod_policy.hpp"
 #include "steer/op_policy.hpp"
 #include "steer/policy.hpp"
@@ -30,62 +31,17 @@ MicroOp alu(std::initializer_list<ArchReg> srcs, ArchReg dst = r(15)) {
   return u;
 }
 
-/// Scriptable machine-state view.
-class MockView : public SteerView {
- public:
-  explicit MockView(std::uint32_t clusters) : clusters_(clusters) {
-    homes_.fill(kNoHome);
-    stale_homes_.fill(kNoHome);
-    inflight_.fill(0);
-    occupancy_.fill(0);
-  }
-
-  std::uint32_t num_clusters() const override { return clusters_; }
-  std::uint32_t iq_occupancy(std::uint32_t c, isa::OpClass) const override {
-    return occupancy_[c];
-  }
-  std::uint32_t iq_capacity(isa::OpClass) const override { return 48; }
-  std::uint32_t inflight(std::uint32_t c) const override { return inflight_[c]; }
-  int value_home(ArchReg reg) const override {
-    return homes_[isa::flat_reg(reg)];
-  }
-  int value_home_stale(ArchReg reg) const override {
-    return stale_homes_[isa::flat_reg(reg)];
-  }
-  bool value_in_cluster(ArchReg reg, std::uint32_t c) const override {
-    const int home = homes_[isa::flat_reg(reg)];
-    return home == kNoHome || home == static_cast<int>(c) ||
-           (replicas_[isa::flat_reg(reg)] & (1u << c));
-  }
-  bool value_in_flight(ArchReg reg) const override {
-    return inflight_regs_[isa::flat_reg(reg)];
-  }
-
-  void set_home(ArchReg reg, int cluster, bool in_flight = false) {
-    homes_[isa::flat_reg(reg)] = cluster;
-    stale_homes_[isa::flat_reg(reg)] = cluster;
-    inflight_regs_[isa::flat_reg(reg)] = in_flight;
-  }
-  void set_stale_home(ArchReg reg, int cluster) {
-    stale_homes_[isa::flat_reg(reg)] = cluster;
-  }
-  void add_replica(ArchReg reg, std::uint32_t cluster) {
-    replicas_[isa::flat_reg(reg)] |= 1u << cluster;
-  }
-  void set_inflight(std::uint32_t c, std::uint32_t n) { inflight_[c] = n; }
-  void set_occupancy(std::uint32_t c, std::uint32_t n) { occupancy_[c] = n; }
-
- private:
-  std::uint32_t clusters_;
-  std::array<int, isa::kNumFlatRegs> homes_{};
-  std::array<int, isa::kNumFlatRegs> stale_homes_{};
-  std::array<bool, isa::kNumFlatRegs> inflight_regs_{};
-  std::array<std::uint32_t, isa::kNumFlatRegs> replicas_{};
-  std::array<std::uint32_t, 8> inflight_{};
-  std::array<std::uint32_t, 8> occupancy_{};
-};
+using MockView = FakeSteerView;
 
 MachineConfig two_clusters() { return MachineConfig::two_cluster(); }
+
+MachineConfig aware_ring(std::uint32_t clusters = 4) {
+  MachineConfig cfg = clusters == 2 ? MachineConfig::two_cluster()
+                                    : MachineConfig::four_cluster();
+  cfg.interconnect.kind = Topology::kRing;
+  cfg.steer.topology_aware = true;
+  return cfg;
+}
 
 TEST(OpPolicy, FollowsSingleSourceHome) {
   MockView view(2);
@@ -173,6 +129,177 @@ TEST(ParallelOpPolicy, UsesStaleRenameView) {
   OpPolicy seq(two_clusters());
   EXPECT_EQ(par.choose(alu({r(1)}), view).cluster, 0);
   EXPECT_EQ(seq.choose(alu({r(1)}), view).cluster, 1);
+}
+
+// ---------------------------------------------------- topology-aware OP --
+
+TEST(TopologyAwareOp, AvoidsContendedTwoHopClusterTheFlatTiebreakPicks) {
+  // r1 lives in cluster 1, r2 in cluster 3: a one-vote-each tie. The flat
+  // tiebreak goes to the less loaded cluster 3 — which is 2 ring hops from
+  // r1's home over a congested path. The aware score sees both candidates
+  // cost 2 hops but the 1 -> 3 path carrying 6 cycles of recent wait, and
+  // steers to cluster 1 instead.
+  MockView view(4);
+  view.ring_distances()
+      .set_home(r(1), 1)
+      .set_home(r(2), 3)
+      .set_inflight(1, 10)
+      .set_inflight(3, 2)
+      .set_congestion(1, 3, 6.0);
+
+  OpPolicy flat(MachineConfig::four_cluster());
+  EXPECT_EQ(flat.choose(alu({r(1), r(2)}), view).cluster, 3);
+
+  OpPolicy aware(aware_ring());
+  const MicroOp uop = alu({r(1), r(2)});
+  EXPECT_EQ(aware.choose(uop, view).cluster, 1);
+  EXPECT_EQ(aware.avoided_contended_links(), 0u);  // not dispatched yet
+  aware.on_dispatched(uop, 1);
+  EXPECT_EQ(aware.avoided_contended_links(), 1u);
+}
+
+TEST(TopologyAwareOp, PrefersNearProducerOnRing) {
+  // Votes tie between clusters 1 and 2; on the unidirectional ring, pulling
+  // r2 backwards from 2 to 1 costs 3 hops while pulling r1 forwards from 1
+  // to 2 costs 1, so the aware policy picks 2 even though 1 is less loaded.
+  MockView view(4);
+  view.ring_distances()
+      .set_home(r(1), 1)
+      .set_home(r(2), 2)
+      .set_inflight(1, 0)
+      .set_inflight(2, 7);
+  OpPolicy aware(aware_ring());
+  EXPECT_EQ(aware.choose(alu({r(1), r(2)}), view).cluster, 2);
+  OpPolicy flat(MachineConfig::four_cluster());
+  EXPECT_EQ(flat.choose(alu({r(1), r(2)}), view).cluster, 1);
+}
+
+TEST(TopologyAwareOp, MatchesFlatOnUniformQuietFabric) {
+  // With uniform single-hop distances and no congestion the cost score
+  // degenerates to the vote count: every flat decision is reproduced.
+  MachineConfig aware_cfg = MachineConfig::four_cluster();
+  aware_cfg.steer.topology_aware = true;
+  OpPolicy aware(aware_cfg);
+  OpPolicy flat(MachineConfig::four_cluster());
+
+  const MicroOp uops[] = {alu({r(1)}), alu({r(1), r(2)}), alu({}),
+                          alu({r(1), r(2), r(3)})};
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    MockView view(4);
+    view.set_inflight(0, 5).set_inflight(1, 2).set_inflight(2, 9);
+    if (scenario >= 1) view.set_home(r(1), 0).set_home(r(2), 2);
+    if (scenario >= 2) {
+      view.set_home(r(3), 2, /*in_flight=*/true).add_replica(r(1), 2);
+    }
+    for (const MicroOp& u : uops) {
+      EXPECT_EQ(aware.choose(u, view).cluster, flat.choose(u, view).cluster)
+          << "scenario " << scenario;
+    }
+  }
+}
+
+TEST(TopologyAwareOp, StallOverSteerDivertsToCheapestPath) {
+  // Preferred cluster 0 (r1's home) is full and cluster 2 is above the
+  // 0.75 * 48 occupancy threshold. Both 1 and 3 are under it; flat diverts
+  // to the emptier 3, the aware variant to 1 — one forward ring hop from
+  // the producer instead of three.
+  MockView view(4);
+  view.ring_distances()
+      .set_home(r(1), 0)
+      .set_occupancy(0, 48)
+      .set_occupancy(1, 10)
+      .set_occupancy(2, 40)
+      .set_occupancy(3, 5);
+  OpPolicy flat(MachineConfig::four_cluster());
+  EXPECT_EQ(flat.choose(alu({r(1)}), view).cluster, 3);
+  OpPolicy aware(aware_ring());
+  EXPECT_EQ(aware.choose(alu({r(1)}), view).cluster, 1);
+}
+
+TEST(TopologyAwareOp, ParallelVariantUsesStaleViewAndDistances) {
+  MockView view(4);
+  view.ring_distances()
+      .set_home(r(1), 1)
+      .set_home(r(2), 2)
+      .set_stale_home(r(2), 3)  // cycle-start state: r2 still in 3
+      .set_inflight(1, 0);
+  ParallelOpPolicy aware(aware_ring());
+  // From the stale view the candidates are 1 and 3, both 2 hops from the
+  // other source's home; congestion on 1 -> 3 breaks the tie towards 1.
+  view.set_congestion(1, 3, 4.0);
+  EXPECT_EQ(aware.choose(alu({r(1), r(2)}), view).cluster, 1);
+}
+
+TEST(TopologyAwareOp, FlatConfigReportsNoAvoidedLinks) {
+  MockView view(4);
+  view.ring_distances().set_home(r(1), 1).set_congestion(1, 3, 6.0);
+  OpPolicy flat(MachineConfig::four_cluster());
+  const MicroOp u = alu({r(1)});
+  const auto d = flat.choose(u, view);
+  flat.on_dispatched(u, static_cast<std::uint32_t>(d.cluster));
+  EXPECT_EQ(flat.avoided_contended_links(), 0u);
+}
+
+// ---------------------------------------------------- topology-aware VC --
+
+TEST(TopologyAwareVc, LeaderRemapWeighsChainLocality) {
+  // VC 0 currently runs on cluster 0. The flat remap chases the globally
+  // least loaded cluster 2 (two ring hops away, score 2 + 2 = 4); the
+  // aware score charges each candidate the move cost from cluster 0 and
+  // keeps the VC home (score 3 + 0 hops).
+  MockView view(4);
+  view.ring_distances()
+      .set_inflight(0, 3)
+      .set_inflight(1, 4)
+      .set_inflight(2, 2)
+      .set_inflight(3, 4);
+  VcPolicy aware(aware_ring(), 4);
+  MicroOp leader = alu({r(1)});
+  leader.hint.vc_id = 0;
+  leader.hint.chain_leader = true;
+  aware.on_dispatched(leader, 0);  // establish the current mapping
+  EXPECT_EQ(aware.choose(leader, view).cluster, 0);
+  aware.on_dispatched(leader, 0);
+  EXPECT_EQ(aware.avoided_contended_links(), 1u);
+
+  VcPolicy flat(MachineConfig::four_cluster(), 4);
+  flat.on_dispatched(leader, 0);
+  EXPECT_EQ(flat.choose(leader, view).cluster, 2);
+}
+
+TEST(TopologyAwareVc, ContendedMovePathRedirectsRemap) {
+  // Moving VC 0 from cluster 0 to the least loaded cluster 1 crosses the
+  // congested 0 -> 1 link; the aware remap hops to cluster 2 instead once
+  // the observed wait outweighs the extra hop.
+  MockView view(4);
+  view.ring_distances()
+      .set_inflight(0, 6)
+      .set_inflight(1, 0)
+      .set_inflight(2, 1)
+      .set_inflight(3, 4)
+      .set_congestion(0, 1, 5.0)
+      .set_congestion(0, 2, 0.5);
+  VcPolicy aware(aware_ring(), 4);
+  MicroOp leader = alu({r(1)});
+  leader.hint.vc_id = 0;
+  leader.hint.chain_leader = true;
+  aware.on_dispatched(leader, 0);
+  // score(1) = 0 + 1 + 5.0 = 6.0; score(2) = 1 + 2 + 0.5 = 3.5.
+  EXPECT_EQ(aware.choose(leader, view).cluster, 2);
+}
+
+TEST(TopologyAwareVc, UnmappedVcStillGoesLeastLoaded) {
+  MockView view(4);
+  view.ring_distances()
+      .set_inflight(0, 5)
+      .set_inflight(1, 3)
+      .set_inflight(2, 1)
+      .set_inflight(3, 3);
+  VcPolicy aware(aware_ring(), 4);
+  MicroOp leader = alu({r(1)});
+  leader.hint.vc_id = 1;
+  leader.hint.chain_leader = true;
+  EXPECT_EQ(aware.choose(leader, view).cluster, 2);
 }
 
 TEST(OneCluster, AlwaysZero) {
