@@ -5,7 +5,8 @@
 // remaps, worst balance). DESIGN.md calls this knob out as the key design
 // choice of the software side.
 //
-// Usage: ablation_chains [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: ablation_chains [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <vector>
 
 #include "bench_main.hpp"
@@ -30,10 +31,8 @@ int main(int argc, char** argv) {
   }
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table table(

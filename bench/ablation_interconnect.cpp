@@ -16,7 +16,7 @@
 // non-uniform; on uniform fabrics only the cost-based divert/remap
 // tiebreaks differ, so the gap stays near zero.
 //
-// Usage: ablation_interconnect [--jobs N] [--smoke] [--shard i/n]
+// Usage: ablation_interconnect [--jobs N] [--smoke] [--shard i/n | --launch n]
 //                              [--cache-dir D] [--json F] [--csv]
 #include <utility>
 #include <vector>
@@ -75,10 +75,8 @@ int main(int argc, char** argv) {
   };
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   const auto n = static_cast<double>(grid.profiles.size());

@@ -8,7 +8,8 @@
 // policy factories (exec::SweepScheme with a tag), which is the same path
 // user-defined policies from examples/custom_policy take.
 //
-// Usage: ablation_priorart [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: ablation_priorart [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <memory>
 
 #include "bench_main.hpp"
@@ -37,10 +38,8 @@ int main(int argc, char** argv) {
   }
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table table(

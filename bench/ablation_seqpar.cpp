@@ -6,7 +6,8 @@
 // implement at cycle time — this ablation quantifies the performance gap
 // the hybrid scheme closes without the serialization.
 //
-// Usage: ablation_seqpar [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: ablation_seqpar [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <vector>
 
 #include "bench_main.hpp"
@@ -28,10 +29,8 @@ int main(int argc, char** argv) {
   };
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table table(

@@ -6,7 +6,8 @@
 // free) and reproduces the papers' observation that some stalling beats
 // blind steering.
 //
-// Usage: ablation_stall [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: ablation_stall [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <vector>
 
 #include "bench_main.hpp"
@@ -30,10 +31,8 @@ int main(int argc, char** argv) {
   grid.schemes = {harness::SchemeSpec{steer::Scheme::kOp, 0}};
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table table(

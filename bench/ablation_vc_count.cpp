@@ -7,7 +7,8 @@
 // partitions spread critical dependent pairs over independently-mapped VCs.
 // This bench sweeps the VC count on both machines over a workload subset.
 //
-// Usage: ablation_vc_count [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: ablation_vc_count [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <vector>
 
 #include "bench_main.hpp"
@@ -34,10 +35,8 @@ int main(int argc, char** argv) {
   }
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   for (std::size_t m = 0; m < grid.machines.size(); ++m) {

@@ -3,8 +3,8 @@
 // Every bench used to hand-roll the same flag loop; they now share one
 // parser and one output path:
 //
-//   bench [--jobs N] [--smoke|--quick] [--seed S] [--shard I/N]
-//         [--cache-dir DIR] [--json FILE] [--csv]
+//   bench [--jobs N] [--smoke|--quick] [--seed S] [--shard I/N] [--launch N]
+//         [--cache-dir DIR] [--json FILE] [--summary-json FILE] [--csv]
 //
 //   --jobs N       worker threads for the sweep (default: all cores).
 //                  Results are bit-identical for every N (see src/exec/).
@@ -15,27 +15,40 @@
 //                  across them, then one unsharded run to assemble the
 //                  tables from the warm cache. Sharded runs skip the
 //                  derived tables (their grid is incomplete by design).
+//   --launch N     own that whole lifecycle instead: re-exec this binary as
+//                  N shard workers (--shard i/N --cache-dir ...), stream
+//                  their progress, retry a crashed/killed shard (bounded),
+//                  then run the in-process assembly pass — which is a pure
+//                  cache read when every shard succeeded. --jobs becomes
+//                  the total thread budget, split across the workers.
 //   --cache-dir D  on-disk result cache; warm re-runs skip simulation.
 //   --json FILE    write raw results + all tables as one JSON document.
+//   --summary-json FILE
+//                  machine-readable run summary (sweep counters, wall time,
+//                  per-shard status) for CI gates — see exec::RunSummary.
 //   --csv          print tables as CSV instead of aligned text.
 //
 // Usage pattern:
 //   bench::Options opt = bench::parse_args(argc, argv, "fig5_twocluster");
-//   exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
 //   bench::Output out(opt);
-//   out.add_sweep(sweep);       // raw points into the JSON document
+//   exec::SweepResult sweep = out.run(grid);  // --launch workers + sweep
 //   out.add(derived_table);     // prints (text or CSV) + into the JSON
-//   return out.finish();        // writes --json file, reports cache stats
+//   return out.finish();        // writes --json/--summary-json files
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "exec/launcher.hpp"
 #include "exec/result_sink.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
@@ -43,16 +56,22 @@
 
 namespace vcsteer::bench {
 
+/// Retries per shard worker beyond its first attempt (--launch).
+inline constexpr unsigned kLaunchMaxRetries = 2;
+
 struct Options {
   std::string bench_name;
+  std::string exe;  // argv[0]; what --launch re-execs
   unsigned jobs = exec::ThreadPool::default_jobs();
   bool smoke = false;
   bool csv = false;
   std::uint64_t seed = 0;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  unsigned launch = 0;  // >= 2: spawn that many shard workers first
   std::string cache_dir;
   std::string json_path;
+  std::string summary_json_path;
 
   harness::SimBudget budget() const {
     return smoke ? harness::SimBudget::smoke() : harness::SimBudget{};
@@ -60,6 +79,48 @@ struct Options {
 
   /// Derived tables need the whole grid; a shard only computes its slice.
   bool tables_enabled() const { return shard_count == 1; }
+
+  /// Command line for shard worker `i` of a --launch run: the bench's own
+  /// sweep-shaping flags plus the shard assignment. Output flags (--json,
+  /// --summary-json, --csv) stay with the parent — workers publish results
+  /// only through the shared cache directory. --jobs is the run's *total*
+  /// thread budget, split across the workers: forwarding it verbatim would
+  /// oversubscribe the machine N-fold under the all-cores default.
+  std::vector<std::string> worker_argv(unsigned i) const {
+    const unsigned worker_jobs = std::max(1u, jobs / std::max(launch, 1u));
+    std::vector<std::string> argv = {exe, "--shard",
+                                     std::to_string(i) + "/" +
+                                         std::to_string(launch),
+                                     "--cache-dir", cache_dir,
+                                     "--jobs", std::to_string(worker_jobs)};
+    if (smoke) argv.push_back("--smoke");
+    if (seed != 0) {
+      argv.push_back("--seed");
+      argv.push_back(std::to_string(seed));
+    }
+    return argv;
+  }
+
+  /// Test-only crash injection for the launcher's recovery path: when this
+  /// process is shard VCSTEER_TEST_CRASH_SHARD of a multi-shard run, it
+  /// SIGKILLs itself after VCSTEER_TEST_CRASH_AFTER (default 1) finished
+  /// jobs — on its first launch attempt only, unless
+  /// VCSTEER_TEST_CRASH_ALWAYS is set. Returns 0 when inactive.
+  std::size_t crash_after_jobs() const {
+    const char* shard_env = std::getenv("VCSTEER_TEST_CRASH_SHARD");
+    if (shard_env == nullptr || shard_count <= 1) return 0;
+    if (std::strtoul(shard_env, nullptr, 10) != shard_index) return 0;
+    if (std::getenv("VCSTEER_TEST_CRASH_ALWAYS") == nullptr) {
+      const char* attempt = std::getenv("VCSTEER_LAUNCH_ATTEMPT");
+      if (attempt != nullptr && std::strtoul(attempt, nullptr, 10) > 1) {
+        return 0;  // the retry is allowed to succeed
+      }
+    }
+    const char* after = std::getenv("VCSTEER_TEST_CRASH_AFTER");
+    const unsigned long jobs_before_crash =
+        after != nullptr ? std::strtoul(after, nullptr, 10) : 1;
+    return std::max<std::size_t>(jobs_before_crash, 1);
+  }
 
   /// Sweep options with a stderr dot per finished (trace, machine) job.
   exec::SweepOptions sweep_options() const {
@@ -69,9 +130,14 @@ struct Options {
     opt.seed_salt = seed;
     opt.shard_index = shard_index;
     opt.shard_count = shard_count;
-    opt.progress = [](std::size_t done, std::size_t total) {
+    opt.progress = [crash_after = crash_after_jobs()](std::size_t done,
+                                                      std::size_t total) {
       std::fputc('.', stderr);
       if (done == total) std::fputc('\n', stderr);
+      if (crash_after != 0 && done >= crash_after) {
+        std::fflush(nullptr);
+        std::raise(SIGKILL);
+      }
     };
     return opt;
   }
@@ -80,8 +146,8 @@ struct Options {
 [[noreturn]] inline void usage(const std::string& bench_name, int code) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--smoke|--quick] [--seed S]\n"
-               "          [--shard I/N] [--cache-dir DIR] [--json FILE]"
-               " [--csv]\n",
+               "          [--shard I/N] [--launch N] [--cache-dir DIR]\n"
+               "          [--json FILE] [--summary-json FILE] [--csv]\n",
                bench_name.c_str());
   std::exit(code);
 }
@@ -89,6 +155,7 @@ struct Options {
 inline Options parse_args(int argc, char** argv, std::string bench_name) {
   Options opt;
   opt.bench_name = std::move(bench_name);
+  opt.exe = argc > 0 ? argv[0] : "";
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s: %s needs a value\n", opt.bench_name.c_str(),
@@ -127,10 +194,21 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
       }
       opt.shard_index = static_cast<std::uint32_t>(index);
       opt.shard_count = static_cast<std::uint32_t>(count);
+    } else if (std::strcmp(arg, "--launch") == 0) {
+      const long n = std::strtol(value(i), nullptr, 10);
+      // 1 worker would just be the plain run with extra process overhead.
+      if (n < 2 || n > 512) {
+        std::fprintf(stderr, "%s: --launch expects 2..512 workers, got %ld\n",
+                     opt.bench_name.c_str(), n);
+        usage(opt.bench_name, 2);
+      }
+      opt.launch = static_cast<unsigned>(n);
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       opt.cache_dir = value(i);
     } else if (std::strcmp(arg, "--json") == 0) {
       opt.json_path = value(i);
+    } else if (std::strcmp(arg, "--summary-json") == 0) {
+      opt.summary_json_path = value(i);
     } else if (std::strcmp(arg, "--csv") == 0) {
       opt.csv = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -149,28 +227,55 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
                  opt.bench_name.c_str());
     usage(opt.bench_name, 2);
   }
+  if (opt.launch >= 2) {
+    if (opt.cache_dir.empty()) {
+      std::fprintf(stderr, "%s: --launch requires --cache-dir (workers hand"
+                   " results to the assembly run through it)\n",
+                   opt.bench_name.c_str());
+      usage(opt.bench_name, 2);
+    }
+    if (opt.shard_count > 1) {
+      std::fprintf(stderr, "%s: --launch spawns the shards itself; it cannot"
+                   " be combined with --shard\n",
+                   opt.bench_name.c_str());
+      usage(opt.bench_name, 2);
+    }
+  }
   return opt;
 }
 
-/// Prints tables as they are added (text or CSV per --csv), accumulates
-/// everything into a ResultSink, and writes the --json file on finish().
+/// Runs the sweep (spawning/monitoring --launch shard workers first when
+/// requested), prints tables as they are added (text or CSV per --csv),
+/// accumulates everything into a ResultSink, and writes the --json and
+/// --summary-json files on finish().
 class Output {
  public:
-  explicit Output(const Options& opt) : opt_(opt), sink_(opt.bench_name) {}
+  explicit Output(const Options& opt)
+      : opt_(opt),
+        sink_(opt.bench_name),
+        start_(std::chrono::steady_clock::now()) {}
 
-  void add_sweep(const exec::SweepResult& sweep) {
-    sink_.add_sweep(sweep);
-    if (sweep.skipped > 0) {
-      std::fprintf(stderr,
-                   "%s: %zu points (%zu simulated, %zu cache hits, "
-                   "%zu other-shard)\n",
-                   opt_.bench_name.c_str(), sweep.num_points(),
-                   sweep.simulated, sweep.cache_hits, sweep.skipped);
-    } else if (!opt_.cache_dir.empty()) {
-      std::fprintf(stderr, "%s: %zu points (%zu simulated, %zu cache hits)\n",
-                   opt_.bench_name.c_str(), sweep.num_points(),
-                   sweep.simulated, sweep.cache_hits);
+  /// The whole execution phase of a bench. With --launch N this first runs
+  /// the shard workers to completion (with retries); a shard that fails
+  /// persistently writes the --summary-json (ok:false) and exits non-zero
+  /// without an assembly pass. Then the in-process sweep runs — the
+  /// assembly pass in launch mode, the only pass otherwise.
+  exec::SweepResult run(const exec::SweepGrid& grid) {
+    if (opt_.launch >= 2) {
+      launch_report_ = run_workers();
+      if (!launch_report_->ok) {
+        std::fprintf(stderr,
+                     "%s: %zu of %u shard worker(s) failed after %u attempts"
+                     " each; skipping the assembly run\n",
+                     opt_.bench_name.c_str(), launch_report_->failed_workers(),
+                     opt_.launch, 1 + kLaunchMaxRetries);
+        finish_summary(/*ok=*/false);
+        std::exit(1);
+      }
     }
+    exec::SweepResult sweep = exec::run_sweep(grid, opt_.sweep_options());
+    record(sweep);
+    return sweep;
   }
 
   void add(const stats::Table& table) {
@@ -184,6 +289,7 @@ class Output {
   }
 
   int finish() {
+    int rc = 0;
     if (!opt_.json_path.empty()) {
       std::ofstream os(opt_.json_path);
       if (os) {
@@ -193,15 +299,130 @@ class Output {
       if (!os) {
         std::fprintf(stderr, "%s: cannot write %s\n", opt_.bench_name.c_str(),
                      opt_.json_path.c_str());
-        return 1;
+        rc = 1;
       }
     }
-    return 0;
+    // After the --json outcome is known, so the summary's ok never
+    // contradicts the exit code.
+    finish_summary(/*ok=*/rc == 0);
+    return rc;
   }
 
  private:
+  /// Spawns the --launch shard workers and relays their stderr line by
+  /// line under a "[shard i]" prefix (each worker's progress dots arrive
+  /// as one line: sweeps only newline-terminate them at the end).
+  exec::LaunchReport run_workers() {
+    exec::LaunchOptions lo;
+    lo.max_retries = kLaunchMaxRetries;
+    for (unsigned i = 0; i < opt_.launch; ++i) {
+      lo.worker_argv.push_back(opt_.worker_argv(i));
+    }
+    std::vector<std::string> buffered(opt_.launch);
+    auto flush_line = [](std::uint32_t w, std::string_view line) {
+      std::fprintf(stderr, "[shard %u] %.*s\n", w,
+                   static_cast<int>(line.size()), line.data());
+    };
+    lo.on_output = [&](std::uint32_t w, std::string_view chunk) {
+      std::string& buf = buffered[w];
+      buf.append(chunk);
+      std::size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        flush_line(w, std::string_view(buf).substr(0, pos));
+        buf.erase(0, pos + 1);
+      }
+    };
+    lo.on_attempt = [&](const exec::WorkerStatus& s, bool will_retry) {
+      if (s.ok) return;
+      char reason[64];
+      if (s.term_signal != 0) {
+        std::snprintf(reason, sizeof(reason), "died to signal %d",
+                      s.term_signal);
+      } else if (s.exit_code < 0) {
+        std::snprintf(reason, sizeof(reason), "could not be spawned");
+      } else {
+        std::snprintf(reason, sizeof(reason), "exited with code %d",
+                      s.exit_code);
+      }
+      std::fprintf(stderr, "[shard %u] attempt %u/%u %s%s\n", s.index,
+                   s.attempts, 1 + kLaunchMaxRetries, reason,
+                   will_retry ? "; retrying" : "; giving up");
+    };
+    std::fprintf(stderr, "%s: launching %u shard workers (cache %s)\n",
+                 opt_.bench_name.c_str(), opt_.launch,
+                 opt_.cache_dir.c_str());
+    exec::LaunchReport report = exec::launch_workers(lo);
+    for (std::uint32_t w = 0; w < buffered.size(); ++w) {
+      if (!buffered[w].empty()) flush_line(w, buffered[w]);
+    }
+    return report;
+  }
+
+  void record(const exec::SweepResult& sweep) {
+    sink_.add_sweep(sweep);
+    points_ += sweep.num_points();
+    simulated_ += sweep.simulated;
+    cache_hits_ += sweep.cache_hits;
+    skipped_ += sweep.skipped;
+    corrupt_ += sweep.cache_corrupt;
+    if (sweep.skipped > 0) {
+      std::fprintf(stderr,
+                   "%s: %zu points (%zu simulated, %zu cache hits, "
+                   "%zu other-shard)\n",
+                   opt_.bench_name.c_str(), sweep.num_points(),
+                   sweep.simulated, sweep.cache_hits, sweep.skipped);
+    } else if (!opt_.cache_dir.empty()) {
+      std::fprintf(stderr, "%s: %zu points (%zu simulated, %zu cache hits)\n",
+                   opt_.bench_name.c_str(), sweep.num_points(),
+                   sweep.simulated, sweep.cache_hits);
+    }
+    if (sweep.cache_corrupt > 0) {
+      std::fprintf(stderr, "%s: recovered %zu corrupt cache entr%s by"
+                   " re-simulating\n",
+                   opt_.bench_name.c_str(), sweep.cache_corrupt,
+                   sweep.cache_corrupt == 1 ? "y" : "ies");
+    }
+  }
+
+  void finish_summary(bool ok) const {
+    if (opt_.summary_json_path.empty()) return;
+    exec::RunSummary summary;
+    summary.bench = opt_.bench_name;
+    summary.ok = ok;
+    summary.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    summary.points = points_;
+    summary.simulated = simulated_;
+    summary.cache_hits = cache_hits_;
+    summary.skipped = skipped_;
+    summary.corrupt_recovered = corrupt_;
+    if (launch_report_) {
+      summary.launch_workers = opt_.launch;
+      summary.launch_max_retries = kLaunchMaxRetries;
+      summary.shards = launch_report_->workers;
+    }
+    std::ofstream os(opt_.summary_json_path);
+    if (os) {
+      exec::write_summary_json(os, summary);
+      os.flush();
+    }
+    if (!os) {
+      std::fprintf(stderr, "%s: cannot write %s\n", opt_.bench_name.c_str(),
+                   opt_.summary_json_path.c_str());
+    }
+  }
+
   const Options& opt_;
   exec::ResultSink sink_;
+  std::chrono::steady_clock::time_point start_;
+  std::optional<exec::LaunchReport> launch_report_;
+  std::size_t points_ = 0;
+  std::size_t simulated_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t corrupt_ = 0;
   bool first_ = true;
 };
 

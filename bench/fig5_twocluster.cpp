@@ -6,7 +6,8 @@
 // VC 2.62 (% slowdown vs OP). We reproduce the *shape*: the ordering and
 // rough magnitudes, not the absolute SPEC numbers (see EXPERIMENTS.md).
 //
-// Usage: fig5_twocluster [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: fig5_twocluster [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <vector>
 
 #include "bench_main.hpp"
@@ -31,10 +32,8 @@ int main(int argc, char** argv) {
   };
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table int_table("Fig 5(a): SPECint 2000 slowdown vs OP, 2 clusters (%)");

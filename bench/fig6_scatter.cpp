@@ -14,7 +14,8 @@
 // traces; VC beats RHOP mainly via fewer/cheaper cut dependences while RHOP
 // balances better; VC generates *more* copies than OP but balances better.
 //
-// Usage: fig6_scatter [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: fig6_scatter [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <string>
 #include <vector>
 
@@ -49,10 +50,8 @@ int main(int argc, char** argv) {
   };
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   struct Comparison {

@@ -8,7 +8,8 @@
 // copies than VC(2->4) because pairs of critical dependent instructions get
 // spread across virtual clusters that the hardware may map apart.
 //
-// Usage: fig7_fourcluster [--jobs N] [--smoke] [--cache-dir D] [--json F] [--csv]
+// Usage: fig7_fourcluster [--jobs N] [--smoke] [--shard i/n | --launch n]
+//        [--cache-dir D] [--json F] [--summary-json F] [--csv]
 #include <vector>
 
 #include "bench_main.hpp"
@@ -33,10 +34,8 @@ int main(int argc, char** argv) {
   };
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table int_table("Fig 7(a): SPECint 2000 slowdown vs OP, 4 clusters (%)");

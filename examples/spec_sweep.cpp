@@ -22,10 +22,8 @@ int main(int argc, char** argv) {
   grid.schemes = {harness::SchemeSpec{steer::Scheme::kOp, 0}};
   grid.budget = opt.budget();
 
-  const exec::SweepResult sweep = exec::run_sweep(grid, opt.sweep_options());
-
   bench::Output out(opt);
-  out.add_sweep(sweep);
+  const exec::SweepResult sweep = out.run(grid);
   if (!opt.tables_enabled()) return out.finish();
 
   stats::Table table("SPEC CPU2000 stand-in workloads under OP, 2 clusters");

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Consolidated CI gate harness — every gate the workflow runs, runnable
+# locally against any build directory:
+#
+#     scripts/ci_gates.sh [gate...]          # default: all gates, in order
+#     BUILD_DIR=build-asan scripts/ci_gates.sh tier1 golden
+#
+# Gates:
+#   tier1     ctest suite minus the golden label
+#   golden    golden-reference fixtures (fig5/fig7 + ablation smoke)
+#   ablation  topology-aware ablation smoke sweep produces a sane summary
+#   smoke     cold sweep simulates everything; warm re-run is 100% cache hits
+#   shard     two --shard processes partition a sweep; the unsharded
+#             assembly run is a pure cache read
+#   launch    --launch 2 owns the shard lifecycle end to end and its
+#             assembly pass never re-simulates
+#
+# Assertions run against the benches' --summary-json documents (via
+# scripts/assert_summary.py) rather than grepping stderr text, so a wording
+# change can't silently turn a gate into a no-op.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+CTEST_JOBS="${CTEST_JOBS:-2}"
+
+# Gate artifacts (summary/sweep JSON) land here; CI sets GATE_OUT to a
+# workspace path so they can be uploaded when a gate fails.
+if [[ -n "${GATE_OUT:-}" ]]; then
+  mkdir -p "$GATE_OUT"
+else
+  GATE_OUT="$(mktemp -d)"
+  trap 'rm -rf "$GATE_OUT"' EXIT
+fi
+
+assert_summary() {
+  python3 "$ROOT/scripts/assert_summary.py" "$@"
+}
+
+gate_tier1() {
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$CTEST_JOBS" -LE golden
+}
+
+gate_golden() {
+  # Diffs the fig5/fig7 + ablation smoke sweeps against tests/golden
+  # fixtures (VCSTEER_REGEN_GOLDEN=1 regenerates them; see README). The
+  # produced JSON lands in $BUILD_DIR/golden_out/.
+  ctest --test-dir "$BUILD_DIR" -L golden --output-on-failure
+}
+
+gate_ablation() {
+  "$BUILD_DIR/ablation_interconnect" --smoke --jobs 2 \
+    --json "$GATE_OUT/ablation_interconnect.json" \
+    --summary-json "$GATE_OUT/ablation_summary.json"
+  assert_summary "$GATE_OUT/ablation_summary.json" \
+    'ok' 'sweep["points"] > 0' 'sweep["simulated"] == sweep["points"]'
+}
+
+gate_smoke() {
+  local cache="$GATE_OUT/smoke-cache"
+  rm -rf "$cache"
+  "$BUILD_DIR/fig5_twocluster" --smoke --jobs 2 --cache-dir "$cache" \
+    --summary-json "$GATE_OUT/smoke_cold.json"
+  assert_summary "$GATE_OUT/smoke_cold.json" \
+    'ok' 'sweep["cache_hits"] == 0' 'sweep["simulated"] == sweep["points"]'
+  # Warm re-run must serve every point from the cache.
+  "$BUILD_DIR/fig5_twocluster" --smoke --jobs 2 --cache-dir "$cache" \
+    --summary-json "$GATE_OUT/smoke_warm.json"
+  assert_summary "$GATE_OUT/smoke_warm.json" \
+    'ok' 'sweep["simulated"] == 0' \
+    'sweep["cache_hits"] == sweep["points"]' \
+    'sweep["corrupt_recovered"] == 0'
+}
+
+gate_shard() {
+  local cache="$GATE_OUT/shard-cache"
+  rm -rf "$cache"
+  # Two shards sharing a cache dir partition the job list; the unsharded
+  # assembly run must then be a pure cache read.
+  "$BUILD_DIR/fig7_fourcluster" --smoke --jobs 2 --shard 0/2 \
+    --cache-dir "$cache" --summary-json "$GATE_OUT/shard0.json"
+  "$BUILD_DIR/fig7_fourcluster" --smoke --jobs 2 --shard 1/2 \
+    --cache-dir "$cache" --summary-json "$GATE_OUT/shard1.json"
+  assert_summary "$GATE_OUT/shard0.json" 'ok' 'sweep["skipped"] > 0' \
+    'sweep["simulated"] + sweep["skipped"] == sweep["points"]'
+  assert_summary "$GATE_OUT/shard1.json" 'ok' 'sweep["skipped"] > 0'
+  "$BUILD_DIR/fig7_fourcluster" --smoke --jobs 2 --cache-dir "$cache" \
+    --summary-json "$GATE_OUT/shard_assemble.json"
+  assert_summary "$GATE_OUT/shard_assemble.json" \
+    'ok' 'sweep["simulated"] == 0' 'sweep["skipped"] == 0' \
+    'sweep["cache_hits"] == sweep["points"]'
+}
+
+gate_launch() {
+  local cache="$GATE_OUT/launch-cache"
+  rm -rf "$cache"
+  # The launcher owns the shard lifecycle: workers cover the whole grid, so
+  # the in-process assembly pass that follows them must be 100% cache hits.
+  "$BUILD_DIR/fig7_fourcluster" --smoke --launch 2 --jobs 2 \
+    --cache-dir "$cache" --summary-json "$GATE_OUT/launch.json"
+  assert_summary "$GATE_OUT/launch.json" \
+    'ok' 'launch["ok"]' 'launch["workers"] == 2' \
+    'launch["failed_shards"] == 0' \
+    'all(s["ok"] for s in launch["shards"])' \
+    'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
+  # And a later single-process run over the same cache stays warm.
+  "$BUILD_DIR/fig7_fourcluster" --smoke --jobs 2 --cache-dir "$cache" \
+    --summary-json "$GATE_OUT/launch_assemble.json"
+  assert_summary "$GATE_OUT/launch_assemble.json" \
+    'ok' 'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
+}
+
+ALL_GATES=(tier1 golden ablation smoke shard launch)
+if [[ $# -eq 0 ]]; then
+  GATES=("${ALL_GATES[@]}")
+else
+  GATES=("$@")
+fi
+for gate in "${GATES[@]}"; do
+  if ! declare -F "gate_$gate" > /dev/null; then
+    echo "ci_gates: unknown gate '$gate' (known: ${ALL_GATES[*]})" >&2
+    exit 2
+  fi
+done
+for gate in "${GATES[@]}"; do
+  echo "=== gate: $gate ==="
+  "gate_$gate"
+  echo "=== gate: $gate OK ==="
+done

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Launcher crash-recovery gate (registered as the `launcher_crash_recovery`
+# ctest; also runnable by hand):
+#
+#     scripts/launcher_crash_test.sh build/fig5_twocluster
+#
+# 1. A --launch 2 run whose shard 1 SIGKILLs itself mid-shard (via the
+#    VCSTEER_TEST_CRASH_* injection knobs in bench_main.hpp) must retry the
+#    dead worker, finish, be a pure cache read in the assembly pass, and
+#    produce sweep JSON bit-identical to a single-process --jobs 1 run.
+# 2. A shard that crashes on *every* attempt must exhaust its bounded
+#    retries, exit non-zero, and leave a summary explaining which shard
+#    died and how.
+set -euo pipefail
+
+BIN="$1"
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "--- reference: single-process --jobs 1 run"
+"$BIN" --smoke --jobs 1 --json "$SCRATCH/ref.json" > /dev/null 2> /dev/null
+
+echo "--- launch 2 with shard 1 SIGKILLed after its first job"
+VCSTEER_TEST_CRASH_SHARD=1 \
+  "$BIN" --smoke --jobs 1 --launch 2 --cache-dir "$SCRATCH/cache" \
+  --json "$SCRATCH/launch.json" --summary-json "$SCRATCH/summary.json" \
+  > /dev/null
+cmp "$SCRATCH/ref.json" "$SCRATCH/launch.json"
+python3 "$ROOT/scripts/assert_summary.py" "$SCRATCH/summary.json" \
+  'ok' \
+  'launch["ok"]' \
+  'launch["shards"][1]["attempts"] == 2' \
+  'launch["shards"][1]["ok"]' \
+  'launch["shards"][0]["attempts"] == 1' \
+  'sweep["simulated"] == 0' \
+  'sweep["cache_hits"] == sweep["points"]'
+
+echo "--- persistently crashing shard exhausts retries and fails loudly"
+set +e
+VCSTEER_TEST_CRASH_SHARD=1 VCSTEER_TEST_CRASH_ALWAYS=1 \
+  "$BIN" --smoke --jobs 1 --launch 2 --cache-dir "$SCRATCH/cache2" \
+  --summary-json "$SCRATCH/fail_summary.json" > /dev/null 2> "$SCRATCH/fail.log"
+status=$?
+set -e
+if [[ "$status" -eq 0 ]]; then
+  echo "expected a non-zero exit when a shard fails persistently" >&2
+  exit 1
+fi
+python3 "$ROOT/scripts/assert_summary.py" "$SCRATCH/fail_summary.json" \
+  'not ok' \
+  'not launch["ok"]' \
+  'launch["failed_shards"] == 1' \
+  'launch["shards"][1]["attempts"] == launch["max_retries"] + 1' \
+  'launch["shards"][1]["signal"] == 9' \
+  'sweep["points"] == 0'
+
+echo "launcher crash-recovery gate: OK"

@@ -1,5 +1,9 @@
 #include "exec/cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -243,10 +247,17 @@ std::string ResultCache::path_for(const std::string& key) const {
   return dir_ + "/" + name;
 }
 
-bool ResultCache::load(const std::string& key,
-                       harness::RunResult* out) const {
-  std::ifstream in(path_for(key));
-  if (!in) return false;
+CacheLookup ResultCache::lookup(const std::string& key,
+                                harness::RunResult* out) const {
+  const std::string path = path_for(key);
+  std::ifstream in(path);
+  if (!in) return CacheLookup::kMiss;
+  // A file exists for this key's hash: from here on, anything undecodable
+  // is a corrupt entry, not a plain miss. Deliberately NOT deleted here:
+  // the caller re-simulates and store() atomically renames the good entry
+  // over it, while a remove() could race a concurrent process that already
+  // re-published the point and destroy its fresh entry.
+  auto corrupt = [] { return CacheLookup::kCorrupt; };
   // The file is "<key lines> -- <result lines>"; the key section must match
   // the probe exactly, else this is a hash collision or a stale format.
   std::string line, stored_key;
@@ -259,10 +270,11 @@ bool ResultCache::load(const std::string& key,
     stored_key += line;
     stored_key += '\n';
   }
-  if (!found_sep || stored_key != key) return false;
+  if (!found_sep) return corrupt();  // truncated inside the key section
+  if (stored_key != key) return CacheLookup::kMiss;
 
   FieldMap fields;
-  if (!parse_fields(in, &fields)) return false;
+  if (!parse_fields(in, &fields)) return corrupt();
   harness::RunResult r;
   if (!get_string(fields, "trace", &r.trace) ||
       !get_string(fields, "scheme", &r.scheme) ||
@@ -280,10 +292,10 @@ bool ResultCache::load(const std::string& key,
       !get_u64(fields, "cycles", &r.cycles) ||
       !get_u64(fields, "num_points", &r.num_points) ||
       !read_sim_stats(fields, "last_interval.", &r.last_interval)) {
-    return false;
+    return corrupt();  // truncated/garbled inside the result section
   }
   *out = std::move(r);
-  return true;
+  return CacheLookup::kHit;
 }
 
 void ResultCache::store(const std::string& key,
@@ -304,19 +316,47 @@ void ResultCache::store(const std::string& key,
   write_sim_stats(w, "last_interval.", result.last_interval);
 
   const std::string path = path_for(key);
-  // Unique temp name per writer so concurrent stores of the same point
-  // cannot interleave; rename is atomic within the directory.
+  // Temp name unique per (process, thread): shard *processes* share the
+  // cache directory, so a thread id alone could collide across them and
+  // interleave two writers' bytes in one tmp file. The write is fsync'd
+  // before the rename so the publish is all-or-nothing even if the writer
+  // is SIGKILLed or the machine dies mid-store; rename is atomic within
+  // the directory.
   std::ostringstream tmp_name;
-  tmp_name << path << ".tmp." << std::this_thread::get_id();
+  tmp_name << path << ".tmp." << ::getpid() << "." << std::this_thread::get_id();
   const std::string tmp = tmp_name.str();
-  {
-    std::ofstream outf(tmp, std::ios::trunc);
-    if (!outf) return;  // cache is best-effort; failure to write is a miss later
-    outf << key << "--\n" << w.text();
+  const std::string payload = key + "--\n" + w.text();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;  // cache is best-effort; failure to write is a miss later
+  std::size_t off = 0;
+  bool write_ok = true;
+  while (off < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
   }
+  write_ok = write_ok && ::fsync(fd) == 0;
+  ::close(fd);
   std::error_code ec;
+  if (!write_ok) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  // Make the rename itself durable: fsync the directory entry.
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 }  // namespace vcsteer::exec

@@ -45,17 +45,33 @@ std::string cache_key(const workload::WorkloadProfile& profile,
                       const harness::SimBudget& budget,
                       std::string_view custom_tag = {});
 
+/// Outcome of a cache probe. kCorrupt means a file for the key existed but
+/// could not be decoded (truncated/garbled entry — e.g. a pre-fsync cache
+/// written by a machine that lost power); the caller should re-simulate
+/// and store() the point, exactly like a miss — the store replaces the
+/// garbage.
+enum class CacheLookup { kMiss, kHit, kCorrupt };
+
 class ResultCache {
  public:
   /// Creates `dir` (and parents) if missing.
   explicit ResultCache(std::string dir);
 
-  /// Fills `out` and returns true when `key` is cached; false on miss or on
-  /// a stale/corrupt entry (which is treated as a miss).
-  bool load(const std::string& key, harness::RunResult* out) const;
+  /// Probes `key`, filling `out` on kHit. A corrupt entry is left in place
+  /// (store() atomically replaces it once the caller re-simulates; deleting
+  /// here could race another process that already re-published the point).
+  CacheLookup lookup(const std::string& key, harness::RunResult* out) const;
 
-  /// Persists `result` under `key` (atomic rename, safe under concurrent
-  /// writers of the same point).
+  /// lookup() == kHit; corrupt entries read as a miss.
+  bool load(const std::string& key, harness::RunResult* out) const {
+    return lookup(key, out) == CacheLookup::kHit;
+  }
+
+  /// Persists `result` under `key`. The entry is written to a tmp file
+  /// unique per (process, thread), fsync'd, and renamed into place, so a
+  /// writer killed at any instant — including SIGKILL mid-write — either
+  /// publishes the complete entry or nothing; concurrent writers of the
+  /// same point cannot interleave.
   void store(const std::string& key, const harness::RunResult& result) const;
 
   const std::string& dir() const { return dir_; }

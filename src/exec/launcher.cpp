@@ -1,0 +1,177 @@
+#include "exec/launcher.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace vcsteer::exec {
+
+namespace {
+
+struct Worker {
+  WorkerStatus status;
+  pid_t pid = -1;
+  int fd = -1;  // read end of the stderr pipe; -1 while not running
+};
+
+/// Forks and execs one attempt with its stderr routed into a pipe whose
+/// read end lands in `w->fd`. Returns false when the pipe or fork itself
+/// fails (the attempt is still counted so retries stay bounded).
+bool spawn_attempt(const std::vector<std::string>& args, Worker* w) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    ++w->status.attempts;
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ++w->status.attempts;
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[1]);
+    char attempt[16];
+    std::snprintf(attempt, sizeof(attempt), "%u", w->status.attempts + 1);
+    ::setenv("VCSTEER_LAUNCH_ATTEMPT", attempt, 1);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    // exec failed: the message lands on the pipe, the parent sees 127.
+    std::fprintf(stderr, "exec %s: %s\n", argv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  w->pid = pid;
+  w->fd = fds[0];
+  ++w->status.attempts;
+  return true;
+}
+
+/// Spawns the worker's next attempt, burning retry budget on spawn failures
+/// themselves (pipe/fork exhaustion — most plausible exactly when launching
+/// many workers). Each failed spawn is reported through on_attempt like any
+/// other failed attempt (exit_code -1, no signal), so a worker that never
+/// managed to run still surfaces a per-shard diagnostic.
+bool spawn_with_budget(const LaunchOptions& opt, std::size_t slot, Worker* w) {
+  for (;;) {
+    if (spawn_attempt(opt.worker_argv[slot], w)) return true;
+    w->status.ok = false;
+    w->status.exit_code = -1;
+    w->status.term_signal = 0;
+    const bool will_retry = w->status.attempts < 1 + opt.max_retries;
+    if (opt.on_attempt) opt.on_attempt(w->status, will_retry);
+    if (!will_retry) return false;
+  }
+}
+
+/// Marks the worker's last attempt from a waitpid status word.
+void record_exit(int wait_status, WorkerStatus* s) {
+  if (WIFEXITED(wait_status)) {
+    s->exit_code = WEXITSTATUS(wait_status);
+    s->term_signal = 0;
+    s->ok = s->exit_code == 0;
+  } else if (WIFSIGNALED(wait_status)) {
+    s->exit_code = -1;
+    s->term_signal = WTERMSIG(wait_status);
+    s->ok = false;
+  } else {
+    s->exit_code = -1;
+    s->term_signal = 0;
+    s->ok = false;
+  }
+}
+
+}  // namespace
+
+LaunchReport launch_workers(const LaunchOptions& opt) {
+  VCSTEER_CHECK_MSG(!opt.worker_argv.empty(), "launch_workers needs workers");
+  for (const auto& argv : opt.worker_argv) {
+    VCSTEER_CHECK_MSG(!argv.empty(), "worker argv needs at least argv[0]");
+  }
+
+  std::vector<Worker> workers(opt.worker_argv.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    workers[i].status.index = static_cast<std::uint32_t>(i);
+    spawn_with_budget(opt, i, &workers[i]);
+  }
+
+  // Event loop: a worker's pipe hitting EOF means its stderr is gone, which
+  // for these single-threaded-at-exit workers means the process is exiting
+  // (or dead); waitpid then gives the verdict and drives the retry decision.
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> pfd_owner;
+  char buf[4096];
+  for (;;) {
+    pfds.clear();
+    pfd_owner.clear();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].fd >= 0) {
+        pfds.push_back(pollfd{workers[i].fd, POLLIN, 0});
+        pfd_owner.push_back(i);
+      }
+    }
+    if (pfds.empty()) break;
+    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failed; fall through and reap what exists
+    }
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      if (pfds[p].revents == 0) continue;
+      Worker& w = workers[pfd_owner[p]];
+      const ssize_t got = ::read(w.fd, buf, sizeof(buf));
+      if (got > 0) {
+        if (opt.on_output) {
+          opt.on_output(w.status.index,
+                        std::string_view(buf, static_cast<std::size_t>(got)));
+        }
+        continue;
+      }
+      if (got < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      // EOF (or unreadable pipe): reap the attempt and decide on a retry.
+      ::close(w.fd);
+      w.fd = -1;
+      int wait_status = 0;
+      pid_t reaped;
+      do {
+        reaped = ::waitpid(w.pid, &wait_status, 0);
+      } while (reaped < 0 && errno == EINTR);
+      w.pid = -1;
+      if (reaped < 0) {
+        w.status.ok = false;
+      } else {
+        record_exit(wait_status, &w.status);
+      }
+      const bool will_retry =
+          !w.status.ok && w.status.attempts < 1 + opt.max_retries;
+      if (opt.on_attempt) opt.on_attempt(w.status, will_retry);
+      if (will_retry) spawn_with_budget(opt, pfd_owner[p], &w);
+    }
+  }
+
+  LaunchReport report;
+  report.ok = true;
+  report.workers.reserve(workers.size());
+  for (const Worker& w : workers) {
+    report.ok = report.ok && w.status.ok;
+    report.workers.push_back(w.status);
+  }
+  return report;
+}
+
+}  // namespace vcsteer::exec

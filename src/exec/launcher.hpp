@@ -1,0 +1,78 @@
+// Multi-process worker launcher with crash recovery.
+//
+// The sweep layer shards a grid across processes (`--shard i/n` + a shared
+// `--cache-dir`), but until now the *user* owned the process lifecycle:
+// spawn every shard by hand, notice when one dies, re-run it, then run the
+// assembly pass. launch_workers() owns that lifecycle instead: it forks and
+// execs every worker with its stderr on a pipe, streams worker output back
+// through a callback as it arrives, reaps workers as their pipes hit EOF,
+// and respawns any worker that exits non-zero or is killed by a signal, up
+// to a bounded retry count per worker.
+//
+// Crash recovery composes with the result cache rather than duplicating it:
+// a respawned shard re-probes the shared cache, so work the dead attempt
+// already published is a cache hit and only the genuinely missing points are
+// re-simulated. ResultCache::store() is fsync-and-rename atomic, so a
+// worker killed mid-write never publishes a truncated entry (see cache.hpp).
+//
+// Each attempt runs with VCSTEER_LAUNCH_ATTEMPT=<1-based attempt> in its
+// environment; the bench driver's test-only crash knobs key off it to kill
+// a worker on its first attempt but let the retry succeed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcsteer::exec {
+
+/// Final state of one worker slot. For sweep workers the slot index is the
+/// shard index.
+struct WorkerStatus {
+  std::uint32_t index = 0;
+  /// Spawns performed; 1 means the first attempt succeeded.
+  unsigned attempts = 0;
+  /// The last attempt exited with status 0.
+  bool ok = false;
+  /// Exit code of the last attempt (-1 when it died to a signal; 127 when
+  /// the exec itself failed).
+  int exit_code = -1;
+  /// Terminating signal of the last attempt (0 when it exited normally).
+  int term_signal = 0;
+};
+
+struct LaunchReport {
+  std::vector<WorkerStatus> workers;
+  /// Every worker eventually succeeded.
+  bool ok = false;
+
+  std::size_t failed_workers() const {
+    std::size_t n = 0;
+    for (const WorkerStatus& w : workers) n += !w.ok;
+    return n;
+  }
+};
+
+struct LaunchOptions {
+  /// argv for each worker slot; argv[0] is the executable (resolved via
+  /// PATH when it contains no '/').
+  std::vector<std::vector<std::string>> worker_argv;
+  /// Respawns allowed per worker after its first attempt: a worker runs at
+  /// most `1 + max_retries` times.
+  unsigned max_retries = 2;
+  /// Stderr bytes from a worker as they arrive (raw chunks, not lines);
+  /// called only from the launching thread.
+  std::function<void(std::uint32_t worker, std::string_view chunk)> on_output;
+  /// After every finished attempt: the status so far and whether a retry
+  /// will be spawned. `status.ok` is the attempt's verdict.
+  std::function<void(const WorkerStatus& status, bool will_retry)> on_attempt;
+};
+
+/// Spawns every worker, streams their stderr, and blocks until each has
+/// either succeeded or exhausted its retries. Never throws on worker
+/// failure — that is what the report is for.
+LaunchReport launch_workers(const LaunchOptions& opt);
+
+}  // namespace vcsteer::exec

@@ -5,6 +5,46 @@
 
 namespace vcsteer::exec {
 
+void write_summary_json(std::ostream& os, const RunSummary& s) {
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  auto boolean = [](bool b) { return b ? "true" : "false"; };
+  os << "{\"bench\":" << stats::json_quote(s.bench)
+     << ",\"ok\":" << boolean(s.ok)
+     << ",\"wall_seconds\":" << num(s.wall_seconds)
+     << ",\"sweep\":{\"points\":" << s.points
+     << ",\"simulated\":" << s.simulated
+     << ",\"cache_hits\":" << s.cache_hits
+     << ",\"skipped\":" << s.skipped
+     << ",\"corrupt_recovered\":" << s.corrupt_recovered << "}";
+  if (s.launch_workers == 0) {
+    os << ",\"launch\":null";
+  } else {
+    bool launch_ok = true;
+    std::size_t failed = 0;
+    for (const WorkerStatus& w : s.shards) {
+      launch_ok = launch_ok && w.ok;
+      failed += !w.ok;
+    }
+    os << ",\"launch\":{\"workers\":" << s.launch_workers
+       << ",\"max_retries\":" << s.launch_max_retries
+       << ",\"ok\":" << boolean(launch_ok) << ",\"failed_shards\":" << failed
+       << ",\"shards\":[";
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      const WorkerStatus& w = s.shards[i];
+      if (i) os << ',';
+      os << "{\"shard\":" << w.index << ",\"attempts\":" << w.attempts
+         << ",\"ok\":" << boolean(w.ok) << ",\"exit_code\":" << w.exit_code
+         << ",\"signal\":" << w.term_signal << "}";
+    }
+    os << "]}";
+  }
+  os << "}\n";
+}
+
 void ResultSink::add_sweep(const SweepResult& sweep) {
   for (const harness::RunResult& r : sweep.points()) {
     // Slots another shard owns stay default-initialised (empty trace);
@@ -12,8 +52,6 @@ void ResultSink::add_sweep(const SweepResult& sweep) {
     if (r.trace.empty()) continue;
     results_.push_back(r);
   }
-  simulated_ += sweep.simulated;
-  cache_hits_ += sweep.cache_hits;
 }
 
 void ResultSink::add_table(stats::Table table) {
@@ -45,9 +83,11 @@ void ResultSink::write_json(std::ostream& os) const {
     return std::string(buf);
   };
   os << "{\"bench\":" << stats::json_quote(bench_name_) << ',';
-  os << "\"sweep\":{\"points\":" << results_.size()
-     << ",\"simulated\":" << simulated_ << ",\"cache_hits\":" << cache_hits_
-     << "},";
+  // Deliberately no execution counters (simulated/cache hits) here: the
+  // document is a pure function of the grid, so a cached, sharded, or
+  // launched run emits the same bytes as a cold single-process one. The
+  // counters live in the --summary-json (RunSummary).
+  os << "\"sweep\":{\"points\":" << results_.size() << "},";
   os << "\"results\":[";
   for (std::size_t i = 0; i < results_.size(); ++i) {
     const harness::RunResult& r = results_[i];

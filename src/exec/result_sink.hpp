@@ -2,28 +2,66 @@
 //
 // A bench pushes the raw SweepResult plus every derived stats::Table it
 // prints; write_json() then emits one self-describing document
-//   {"bench":..., "sweep":{counters}, "results":[{per-point record}...],
+//   {"bench":..., "sweep":{"points":N}, "results":[{per-point record}...],
 //    "tables":[{title,columns,rows}...]}
 // so a single --json file carries both the full-precision raw points (for
-// plotting/regression-diffing) and the rendered figure tables.
+// plotting/regression-diffing) and the rendered figure tables. The document
+// is a pure function of the grid — cached, sharded, and launched runs all
+// emit identical bytes. Execution metadata (simulated/cache-hit counts,
+// wall time, shard status) goes in the separate --summary-json document
+// (RunSummary below) that CI gates assert on.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "exec/launcher.hpp"
 #include "exec/sweep.hpp"
 #include "harness/experiment.hpp"
 #include "stats/table.hpp"
 
 namespace vcsteer::exec {
 
+/// Machine-readable outcome of one bench invocation, written as the
+/// `--summary-json` file. CI gates assert on these fields instead of
+/// grepping the human-oriented stderr text: `sweep.simulated == 0` *is*
+/// "the assembly run was a pure cache read".
+struct RunSummary {
+  std::string bench;
+  /// False when a launched shard exhausted its retries (the process also
+  /// exits non-zero in that case, but the summary still explains why).
+  bool ok = true;
+  double wall_seconds = 0.0;
+  /// Sweep counters, straight from SweepResult.
+  std::size_t points = 0;
+  std::size_t simulated = 0;
+  std::size_t cache_hits = 0;
+  std::size_t skipped = 0;
+  std::size_t corrupt_recovered = 0;
+  /// Shard-process orchestration (`--launch N`); workers == 0 means the
+  /// bench ran single-process and the `launch` JSON field is null.
+  unsigned launch_workers = 0;
+  unsigned launch_max_retries = 0;
+  std::vector<WorkerStatus> shards;
+};
+
+/// One-line JSON document:
+///   {"bench":...,"ok":...,"wall_seconds":...,
+///    "sweep":{"points","simulated","cache_hits","skipped","corrupt_recovered"},
+///    "launch":null | {"workers","max_retries","ok","failed_shards",
+///                     "shards":[{"shard","attempts","ok","exit_code","signal"}]}}
+void write_summary_json(std::ostream& os, const RunSummary& summary);
+
 class ResultSink {
  public:
   explicit ResultSink(std::string bench_name)
       : bench_name_(std::move(bench_name)) {}
 
-  /// Record every point of `sweep` (plus its simulated/cache-hit counters).
+  /// Record every point of `sweep` that carries a result (slots owned by
+  /// other shards are skipped). Execution counters are NOT recorded: the
+  /// JSON document stays a pure function of the grid (see write_json), and
+  /// run metadata goes through RunSummary instead.
   void add_sweep(const SweepResult& sweep);
   void add_table(stats::Table table);
 
@@ -39,8 +77,6 @@ class ResultSink {
   std::string bench_name_;
   std::vector<harness::RunResult> results_;
   std::vector<stats::Table> tables_;
-  std::size_t simulated_ = 0;
-  std::size_t cache_hits_ = 0;
 };
 
 }  // namespace vcsteer::exec

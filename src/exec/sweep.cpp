@@ -56,6 +56,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
                    grid.schemes.size();
   std::atomic<std::size_t> simulated{0};
   std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> cache_corrupt{0};
   std::atomic<std::size_t> jobs_done{0};
   std::mutex progress_mutex;
 
@@ -75,9 +76,13 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
       if (cache) {
         keys[s] = cache_key(profile, machine, scheme.spec, grid.budget,
                             scheme.custom_tag);
-        if (cache->load(keys[s], &result.slot(t, m, s))) {
+        const CacheLookup looked = cache->lookup(keys[s], &result.slot(t, m, s));
+        if (looked == CacheLookup::kHit) {
           cache_hits.fetch_add(1, std::memory_order_relaxed);
           continue;
+        }
+        if (looked == CacheLookup::kCorrupt) {
+          cache_corrupt.fetch_add(1, std::memory_order_relaxed);
         }
       }
       missing.push_back(s);
@@ -130,6 +135,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
 
   result.simulated = simulated.load();
   result.cache_hits = cache_hits.load();
+  result.cache_corrupt = cache_corrupt.load();
   return result;
 }
 

@@ -98,6 +98,10 @@ class SweepResult {
   std::size_t cache_hits = 0;
   /// Points left untouched because their job belongs to another shard.
   std::size_t skipped = 0;
+  /// Cache entries found truncated/garbled (e.g. a worker killed mid-run on
+  /// a pre-fsync cache); each was deleted and the point re-simulated, so
+  /// these also count in `simulated`.
+  std::size_t cache_corrupt = 0;
 
  private:
   friend SweepResult run_sweep(const SweepGrid&, const SweepOptions&);

@@ -17,6 +17,7 @@
 #include "exec/result_sink.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "scratch_dir.hpp"
 #include "steer/mod_policy.hpp"
 #include "workload/profiles.hpp"
 
@@ -25,21 +26,7 @@ namespace {
 
 // ---------------------------------------------------------------- helpers ---
 
-/// Unique scratch directory, removed on destruction.
-class ScratchDir {
- public:
-  ScratchDir() {
-    std::string tmpl =
-        (std::filesystem::temp_directory_path() / "vcsteer_exec_test_XXXXXX")
-            .string();
-    path_ = mkdtemp(tmpl.data());
-  }
-  ~ScratchDir() { std::filesystem::remove_all(path_); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
+using testing::ScratchDir;
 
 void expect_stats_equal(const sim::SimStats& a, const sim::SimStats& b) {
   EXPECT_EQ(a.cycles, b.cycles);
@@ -239,6 +226,49 @@ TEST(ResultCache, RoundTripsExactly) {
   EXPECT_FALSE(cache.load(key, &loaded));
   cache.store(key, r);
   ASSERT_TRUE(cache.load(key, &loaded));
+  expect_results_equal(r, loaded);
+}
+
+/// Path of the single entry file inside a cache directory.
+std::string only_entry(const std::string& cache_dir) {
+  std::string found;
+  for (const auto& e : std::filesystem::directory_iterator(cache_dir)) {
+    if (e.path().extension() == ".result") {
+      EXPECT_TRUE(found.empty()) << "expected exactly one cache entry";
+      found = e.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty());
+  return found;
+}
+
+// A shard killed mid-write must never poison later runs: store() is
+// fsync-and-rename atomic, and even an entry truncated by other means
+// (pre-atomic caches, disk faults) is detected and re-simulated instead of
+// aborting the assembly run.
+TEST(ResultCache, TruncatedEntryIsCorruptAndReplacedByStore) {
+  ScratchDir dir;
+  const std::string cache_dir = dir.path() + "/cache";
+  ResultCache cache(cache_dir);
+  harness::RunResult r;
+  r.trace = "trace-x";
+  r.scheme = "OP";
+  r.ipc = 1.5;
+  const std::string key = "k1=v1\nk2=v2\n";
+  cache.store(key, r);
+
+  const std::string entry = only_entry(cache_dir);
+  const auto full_size = std::filesystem::file_size(entry);
+  std::filesystem::resize_file(entry, full_size / 2);
+
+  harness::RunResult loaded;
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+  // The garbage is left in place (deleting could race a concurrent
+  // re-publisher) and re-detected until a store() renames over it, after
+  // which the entry round-trips again.
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+  cache.store(key, r);
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kHit);
   expect_results_equal(r, loaded);
 }
 
@@ -456,6 +486,41 @@ TEST(Sweep, ShardsPartitionJobsAndAssembleFromSharedCache) {
   }
 }
 
+TEST(Sweep, CorruptCacheEntryIsResimulatedNotFatal) {
+  ScratchDir dir;
+  SweepGrid grid = small_grid();
+  grid.schemes.resize(1);  // one entry file per trace
+  SweepOptions opt;
+  opt.cache_dir = dir.path() + "/cache";
+  const SweepResult cold = run_sweep(grid, opt);
+  EXPECT_EQ(cold.cache_corrupt, 0u);
+
+  // Truncate one entry as if a writer had died mid-write on a cache
+  // without atomic stores.
+  std::string victim;
+  for (const auto& e : std::filesystem::directory_iterator(opt.cache_dir)) {
+    victim = e.path().string();
+    break;
+  }
+  ASSERT_FALSE(victim.empty());
+  std::filesystem::resize_file(victim,
+                               std::filesystem::file_size(victim) / 2);
+
+  const SweepResult warm = run_sweep(grid, opt);
+  EXPECT_EQ(warm.cache_corrupt, 1u);
+  EXPECT_EQ(warm.simulated, 1u);
+  EXPECT_EQ(warm.cache_hits, warm.num_points() - 1);
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    expect_results_equal(cold.at(t, 0), warm.at(t, 0));
+  }
+
+  // The re-simulated point was stored back: the next run is pure hits.
+  const SweepResult healed = run_sweep(grid, opt);
+  EXPECT_EQ(healed.cache_corrupt, 0u);
+  EXPECT_EQ(healed.simulated, 0u);
+  EXPECT_EQ(healed.cache_hits, healed.num_points());
+}
+
 TEST(Sweep, PartialCacheSimulatesOnlyMissing) {
   ScratchDir dir;
   SweepGrid grid = small_grid();
@@ -491,6 +556,77 @@ TEST(ResultSink, JsonCarriesResultsAndTables) {
   EXPECT_NE(json.find("\"results\":["), std::string::npos);
   EXPECT_NE(json.find("\"tables\":[{\"title\":\"raw\""), std::string::npos);
   EXPECT_NE(json.find("\"scheme\":\"MOD3\""), std::string::npos);
+}
+
+TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
+  RunSummary s;
+  s.bench = "fig7_fourcluster";
+  s.ok = true;
+  s.wall_seconds = 1.5;
+  s.points = 25;
+  s.simulated = 0;
+  s.cache_hits = 25;
+  s.launch_workers = 2;
+  s.launch_max_retries = 2;
+  WorkerStatus w0;
+  w0.index = 0;
+  w0.attempts = 1;
+  w0.ok = true;
+  w0.exit_code = 0;
+  WorkerStatus w1;
+  w1.index = 1;
+  w1.attempts = 2;
+  w1.ok = true;
+  w1.exit_code = 0;
+  w1.term_signal = 0;
+  s.shards = {w0, w1};
+
+  std::ostringstream os;
+  write_summary_json(os, s);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"bench\":\"fig7_fourcluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\":{\"points\":25,\"simulated\":0,"
+                      "\"cache_hits\":25,\"skipped\":0,"
+                      "\"corrupt_recovered\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"launch\":{\"workers\":2,\"max_retries\":2,"
+                      "\"ok\":true,\"failed_shards\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"shard\":1,\"attempts\":2,\"ok\":true"),
+            std::string::npos);
+}
+
+TEST(RunSummary, NoLaunchMeansNullLaunchField) {
+  RunSummary s;
+  s.bench = "fig5_twocluster";
+  std::ostringstream os;
+  write_summary_json(os, s);
+  EXPECT_NE(os.str().find("\"launch\":null"), std::string::npos);
+}
+
+TEST(RunSummary, FailedShardSurfacesInJson) {
+  RunSummary s;
+  s.bench = "fig5_twocluster";
+  s.ok = false;
+  s.launch_workers = 2;
+  s.launch_max_retries = 2;
+  WorkerStatus dead;
+  dead.index = 1;
+  dead.attempts = 3;
+  dead.ok = false;
+  dead.exit_code = -1;
+  dead.term_signal = 9;
+  s.shards = {WorkerStatus{0, 1, true, 0, 0}, dead};
+
+  std::ostringstream os;
+  write_summary_json(os, s);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_shards\":1"), std::string::npos);
+  EXPECT_NE(json.find("{\"shard\":1,\"attempts\":3,\"ok\":false,"
+                      "\"exit_code\":-1,\"signal\":9}"),
+            std::string::npos);
 }
 
 }  // namespace

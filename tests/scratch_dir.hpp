@@ -1,0 +1,29 @@
+// Shared test helper: a unique scratch directory, removed on destruction.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace vcsteer::testing {
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& prefix = "vcsteer_test") {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / (prefix + "_XXXXXX"))
+            .string();
+    path_ = mkdtemp(tmpl.data());
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace vcsteer::testing
