@@ -365,6 +365,9 @@ class Output {
     cache_hits_ += sweep.cache_hits;
     skipped_ += sweep.skipped;
     corrupt_ += sweep.cache_corrupt;
+    for (const harness::RunResult& r : sweep.points()) {
+      if (!r.trace.empty()) uops_ += r.committed_uops;
+    }
     if (sweep.skipped > 0) {
       std::fprintf(stderr,
                    "%s: %zu points (%zu simulated, %zu cache hits, "
@@ -398,6 +401,7 @@ class Output {
     summary.cache_hits = cache_hits_;
     summary.skipped = skipped_;
     summary.corrupt_recovered = corrupt_;
+    summary.uops = uops_;
     if (launch_report_) {
       summary.launch_workers = opt_.launch;
       summary.launch_max_retries = kLaunchMaxRetries;
@@ -423,6 +427,7 @@ class Output {
   std::size_t cache_hits_ = 0;
   std::size_t skipped_ = 0;
   std::size_t corrupt_ = 0;
+  std::uint64_t uops_ = 0;
   bool first_ = true;
 };
 

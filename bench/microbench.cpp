@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <utility>
 
 #include "compiler/ob_pass.hpp"
 #include "compiler/rhop_pass.hpp"
@@ -16,6 +17,7 @@
 #include "graph/partition.hpp"
 #include "harness/experiment.hpp"
 #include "sim/core.hpp"
+#include "sim/sim_context.hpp"
 #include "workload/pinpoints.hpp"
 #include "workload/profiles.hpp"
 #include "workload/trace.hpp"
@@ -52,6 +54,114 @@ void BM_SimulatorThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 50'000);  // uops simulated
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+/// Minimal one-uop program for the kernel microbenches: CoreState needs a
+/// program reference but the isolated loops never fetch from it.
+prog::Program kernel_program() {
+  prog::ProgramBuilder builder("kernel");
+  builder.begin_block();
+  isa::MicroOp op;
+  op.op = isa::OpClass::kIntAlu;
+  builder.add(op);
+  builder.end_block({{0, 1.0}});
+  return std::move(builder).finish();
+}
+
+// Isolated wakeup/select kernel: fill one cluster's INT queue with entries
+// each waiting on its own value, publish the values (wakeup -> seq-ordered
+// ready-list insert), then drain the ready list at issue width (select).
+// ns/op here is the per-entry cost of the event-driven path that replaced
+// the per-slot full-queue scan.
+void BM_WakeupSelect(benchmark::State& state) {
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  const prog::Program program = kernel_program();
+  sim::CoreState st(cfg, program);
+  const std::uint32_t n = cfg.iq_int_entries;
+  for (auto _ : state) {
+    sim::ClusterState& cl = st.clusters[0];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const sim::Tag tag = st.alloc_value(0, false);
+      const std::uint32_t slot = cl.iq_int.alloc();
+      sim::IqEntry& e = cl.iq_int[slot];
+      e.uop = 0;
+      e.seq = i;
+      e.num_srcs = 1;
+      e.src_tags[0] = tag;
+      e.waiting_srcs = 1;
+      st.add_waiter(tag, 0, sim::WaiterKind::kIqInt, slot);
+    }
+    // Completion order tracks dispatch order in steady state; publish in
+    // age order like the simulator does.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      st.publish(static_cast<sim::Tag>(i), 0, 1);
+    }
+    std::uint32_t idx = cl.iq_int.ready_head();
+    while (idx != sim::kNilIdx) {
+      const std::uint32_t next = cl.iq_int[idx].ready_next;
+      cl.iq_int.ready_remove(idx);
+      cl.iq_int.release(idx);
+      idx = next;
+    }
+    benchmark::DoNotOptimize(cl.iq_int.ready_head());
+    st.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WakeupSelect);
+
+// Value-table churn: allocate and free tags through the slot-stable pool's
+// free list, the per-dispatch cost of renaming. The table reaches its
+// high-water mark once; after that alloc/release touch no allocator.
+void BM_ValueTableChurn(benchmark::State& state) {
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  const prog::Program program = kernel_program();
+  sim::CoreState st(cfg, program);
+  const int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const sim::Tag tag = st.alloc_value(0, false);
+      ++st.clusters[0].regs_used_int;  // release frees the home register
+      st.release_value(tag);
+    }
+    benchmark::DoNotOptimize(st.free_values.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ValueTableChurn);
+
+// Arena reuse (SimContext) vs per-run core reconstruction: the same short
+// trace simulated in a reused reset-in-place core and in a freshly built
+// one. The gap is the allocation/initialisation cost a sweep pays per
+// (trace, machine, scheme) point without the arena.
+void BM_ArenaRunReused(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(5'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  sim::SimContext ctx(cfg, wl.program);
+  const auto policy = steer::make_policy(steer::Scheme::kOp, cfg);
+  for (auto _ : state) {
+    const sim::SimStats stats = ctx.core().run(entries, *policy);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_ArenaRunReused);
+
+void BM_ArenaRunFresh(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(5'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  const auto policy = steer::make_policy(steer::Scheme::kOp, cfg);
+  for (auto _ : state) {
+    sim::ClusteredCore core(cfg, wl.program);
+    const sim::SimStats stats = core.run(entries, *policy);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_ArenaRunFresh);
 
 void BM_PinPointsSelection(benchmark::State& state) {
   const workload::GeneratedWorkload wl = workload::generate(bench_profile());

@@ -14,6 +14,12 @@
 #             assembly run is a pure cache read
 #   launch    --launch 2 owns the shard lifecycle end to end and its
 #             assembly pass never re-simulates
+#   perf      NON-BLOCKING perf trajectory: runs fig5_twocluster --smoke
+#             --jobs 1, derives kuops/s from its --summary-json/--json via
+#             scripts/perf_gate.py, and rewrites BENCH_perf.json at the repo
+#             root (warning, never failing, on a >10% drop vs the committed
+#             baseline). Run it from a Release tree (cmake --preset release)
+#             — any other build type only measures assert overhead.
 #
 # Assertions run against the benches' --summary-json documents (via
 # scripts/assert_summary.py) rather than grepping stderr text, so a wording
@@ -37,6 +43,24 @@ assert_summary() {
   python3 "$ROOT/scripts/assert_summary.py" "$@"
 }
 
+build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+      2>/dev/null || true
+}
+
+# Bench-running gates call this: wall-clock numbers from a non-Release tree
+# are not comparable to the committed BENCH_perf.json baseline, and debug
+# asserts slow the sweeps several-fold.
+warn_if_not_release() {
+  local bt
+  bt="$(build_type)"
+  if [[ "$bt" != "Release" ]]; then
+    echo "ci_gates: WARNING: benches running from a" \
+         "'${bt:-unknown}' build dir ($BUILD_DIR), not Release;" \
+         "timings are not baseline-comparable (use: cmake --preset release)" >&2
+  fi
+}
+
 gate_tier1() {
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$CTEST_JOBS" -LE golden
 }
@@ -48,7 +72,28 @@ gate_golden() {
   ctest --test-dir "$BUILD_DIR" -L golden --output-on-failure
 }
 
+gate_perf() {
+  warn_if_not_release
+  "$BUILD_DIR/fig5_twocluster" --smoke --jobs 1 \
+    --json "$GATE_OUT/perf_results.json" \
+    --summary-json "$GATE_OUT/perf_summary.json"
+  # Only a Release run may rewrite the repo-root baseline; numbers from any
+  # other build type land in $GATE_OUT so a default `ci_gates.sh` run from
+  # a dev tree cannot silently degrade the committed BENCH_perf.json.
+  local perf_out="$GATE_OUT/BENCH_perf.json"
+  if [[ "$(build_type)" == "Release" ]]; then
+    perf_out="$ROOT/BENCH_perf.json"
+  else
+    cp -f "$ROOT/BENCH_perf.json" "$perf_out" 2>/dev/null || true
+    echo "ci_gates: non-Release build: writing perf numbers to $perf_out," \
+         "leaving the committed baseline untouched" >&2
+  fi
+  python3 "$ROOT/scripts/perf_gate.py" "$GATE_OUT/perf_summary.json" \
+    "$GATE_OUT/perf_results.json" "$perf_out"
+}
+
 gate_ablation() {
+  warn_if_not_release
   "$BUILD_DIR/ablation_interconnect" --smoke --jobs 2 \
     --json "$GATE_OUT/ablation_interconnect.json" \
     --summary-json "$GATE_OUT/ablation_summary.json"
@@ -57,6 +102,7 @@ gate_ablation() {
 }
 
 gate_smoke() {
+  warn_if_not_release
   local cache="$GATE_OUT/smoke-cache"
   rm -rf "$cache"
   "$BUILD_DIR/fig5_twocluster" --smoke --jobs 2 --cache-dir "$cache" \
@@ -73,6 +119,7 @@ gate_smoke() {
 }
 
 gate_shard() {
+  warn_if_not_release
   local cache="$GATE_OUT/shard-cache"
   rm -rf "$cache"
   # Two shards sharing a cache dir partition the job list; the unsharded
@@ -92,6 +139,7 @@ gate_shard() {
 }
 
 gate_launch() {
+  warn_if_not_release
   local cache="$GATE_OUT/launch-cache"
   rm -rf "$cache"
   # The launcher owns the shard lifecycle: workers cover the whole grid, so
@@ -110,7 +158,7 @@ gate_launch() {
     'ok' 'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
 }
 
-ALL_GATES=(tier1 golden ablation smoke shard launch)
+ALL_GATES=(tier1 golden ablation smoke shard launch perf)
 if [[ $# -eq 0 ]]; then
   GATES=("${ALL_GATES[@]}")
 else

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: derive kuops/s from one bench run and track it.
+
+    perf_gate.py SUMMARY_JSON RESULTS_JSON OUT_JSON
+
+Reads the bench's --summary-json (wall time + the sweep.uops simulated-uop
+counter) and --json results document (per-point scheme + committed uops,
+for the per-scheme split), compares the derived throughput against the
+previous contents of OUT_JSON when one exists (the committed
+BENCH_perf.json baseline), and rewrites OUT_JSON:
+
+    {"bench": ..., "host": ..., "wall_seconds": ..., "total_uops": ...,
+     "kuops_per_sec": ...,
+     "schemes": {"OP": {"uops": ..., "kuops_per_sec": ...}, ...}}
+
+Per-scheme rates share the run's wall clock (schemes amortise trace
+generation inside one TraceExperiment, so they cannot be timed apart);
+wall-clock numbers are only comparable run-over-run on one machine, so the
+baseline comparison is skipped — loudly — when the recorded host differs
+(a CI runner never warns against a dev-box baseline; it builds its own
+trajectory through the uploaded artifact instead).
+
+The gate is NON-BLOCKING: it always exits 0. A same-host throughput drop
+beyond 10% prints a loud warning for the PR author; CI never fails on it
+(wall-clock noise on shared runners would make that gate flaky).
+"""
+import json
+import os
+import platform
+import sys
+
+
+def host_id() -> str:
+    """Comparison key for 'same machine'. PERF_GATE_HOST overrides the raw
+    hostname so fleets of ephemeral runners (CI) can opt into a shared
+    class name and still get run-over-run comparisons."""
+    return os.environ.get("PERF_GATE_HOST") or platform.node()
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 0
+    summary_path, results_path, out_path = sys.argv[1:4]
+    try:
+        with open(summary_path) as f:
+            summary = json.load(f)
+        with open(results_path) as f:
+            results = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read inputs ({e}); skipping", file=sys.stderr)
+        return 0
+
+    wall = summary.get("wall_seconds", 0.0)
+    sweep = summary.get("sweep", {})
+    if wall <= 0.0 or sweep.get("simulated", 0) != sweep.get("points", -1):
+        print("perf_gate: run was not a cold full simulation; skipping",
+              file=sys.stderr)
+        return 0
+
+    schemes = {}
+    try:
+        for point in results.get("results", []):
+            entry = schemes.setdefault(point["scheme"], {"uops": 0})
+            entry["uops"] += point["committed_uops"]
+    except (KeyError, TypeError) as e:
+        # Schema drift (e.g. an older bench binary) must not break the
+        # non-blocking gate; skip rather than traceback.
+        print(f"perf_gate: results JSON missing expected fields ({e}); "
+              "skipping", file=sys.stderr)
+        return 0
+    for entry in schemes.values():
+        entry["kuops_per_sec"] = round(entry["uops"] / 1000.0 / wall, 3)
+    total_uops = sweep.get("uops", 0)
+    per_point_sum = sum(s["uops"] for s in schemes.values())
+    if total_uops != per_point_sum:
+        print(f"perf_gate: WARNING: summary sweep.uops ({total_uops}) != sum "
+              f"of per-point committed_uops ({per_point_sum}); the two "
+              "documents disagree — using the summary counter",
+              file=sys.stderr)
+
+    doc = {
+        "bench": summary.get("bench", ""),
+        "host": host_id(),
+        "wall_seconds": round(wall, 6),
+        "total_uops": total_uops,
+        "kuops_per_sec": round(total_uops / 1000.0 / wall, 3),
+        "schemes": schemes,
+    }
+
+    baseline = None
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError):
+        pass
+
+    try:
+        with open(out_path, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+    except OSError as e:
+        print(f"perf_gate: cannot write {out_path} ({e}); skipping",
+              file=sys.stderr)
+        return 0
+
+    print(f"perf_gate: {doc['bench']}: {doc['kuops_per_sec']:.1f} kuops/s "
+          f"({total_uops} uops in {wall:.2f}s)")
+    if baseline and baseline.get("kuops_per_sec"):
+        base_host = baseline.get("host", "")
+        if base_host != doc["host"]:
+            print(f"perf_gate: baseline was measured on "
+                  f"'{base_host or 'unknown'}', this run on '{doc['host']}'; "
+                  "cross-machine wall clocks are not comparable — skipping "
+                  "the regression comparison")
+            return 0
+        base = baseline["kuops_per_sec"]
+        ratio = doc["kuops_per_sec"] / base
+        print(f"perf_gate: baseline {base:.1f} kuops/s -> {ratio:.2f}x")
+        if ratio < 0.9:
+            print("perf_gate: WARNING: >10% throughput regression vs the "
+                  "committed BENCH_perf.json (non-blocking; investigate or "
+                  "re-baseline with the change that explains it)",
+                  file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,8 @@ void write_summary_json(std::ostream& os, const RunSummary& s) {
      << ",\"simulated\":" << s.simulated
      << ",\"cache_hits\":" << s.cache_hits
      << ",\"skipped\":" << s.skipped
-     << ",\"corrupt_recovered\":" << s.corrupt_recovered << "}";
+     << ",\"corrupt_recovered\":" << s.corrupt_recovered
+     << ",\"uops\":" << s.uops << "}";
   if (s.launch_workers == 0) {
     os << ",\"launch\":null";
   } else {

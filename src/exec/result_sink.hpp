@@ -39,6 +39,11 @@ struct RunSummary {
   std::size_t cache_hits = 0;
   std::size_t skipped = 0;
   std::size_t corrupt_recovered = 0;
+  /// Committed micro-ops summed over this run's available points (simulated
+  /// or cache-served). On a cold single-process run this is the simulated
+  /// uop volume, which the perf gate divides by wall_seconds for kuops/s
+  /// (scripts/perf_gate.py).
+  std::uint64_t uops = 0;
   /// Shard-process orchestration (`--launch N`); workers == 0 means the
   /// bench ran single-process and the `launch` JSON field is null.
   unsigned launch_workers = 0;

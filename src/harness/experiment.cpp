@@ -8,6 +8,7 @@
 #include "compiler/rhop_pass.hpp"
 #include "compiler/vc_pass.hpp"
 #include "sim/core.hpp"
+#include "sim/sim_context.hpp"
 #include "steer/vc_policy.hpp"
 #include "workload/trace.hpp"
 
@@ -142,6 +143,8 @@ TraceExperiment::TraceExperiment(const workload::WorkloadProfile& profile,
   }
 }
 
+TraceExperiment::~TraceExperiment() = default;  // ctx_ needs SimContext here
+
 RunResult TraceExperiment::run(const SchemeSpec& spec) {
   annotate_for_scheme(wl_.program, spec, machine_);
   const auto policy = policy_for_scheme(spec, machine_);
@@ -161,7 +164,10 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
   result.scheme = std::move(label);
   result.num_points = points_.size();
 
-  sim::ClusteredCore core(machine_, wl_.program);
+  // One arena for the experiment's lifetime: every scheme and simulation
+  // point reuses the same core, reset in place per run.
+  if (!ctx_) ctx_ = std::make_unique<sim::SimContext>(machine_, wl_.program);
+  sim::ClusteredCore& core = ctx_->core();
   double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
          w_policy = 0.0, w_hops = 0.0, w_contention = 0.0, w_avoided = 0.0;
   for (std::size_t i = 0; i < points_.size(); ++i) {

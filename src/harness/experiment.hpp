@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "steer/policy.hpp"
 #include "workload/generator.hpp"
 #include "workload/pinpoints.hpp"
+
+namespace vcsteer::sim {
+class SimContext;
+}
 
 namespace vcsteer::harness {
 
@@ -70,6 +75,7 @@ class TraceExperiment {
  public:
   TraceExperiment(const workload::WorkloadProfile& profile,
                   const MachineConfig& machine, const SimBudget& budget);
+  ~TraceExperiment();
 
   /// Evaluate one steering configuration (runs its software pass, simulates
   /// all simulation points, aggregates with PinPoints weights).
@@ -92,6 +98,11 @@ class TraceExperiment {
   MachineConfig machine_;
   SimBudget budget_;
   workload::GeneratedWorkload wl_;
+  /// Reusable simulation arena (sim/sim_context.hpp): one core whose pools,
+  /// value table and cache arrays persist across every run() of this
+  /// experiment, reset in place instead of reconstructed. Lazily built on
+  /// the first run so cache-served experiments never allocate it.
+  std::unique_ptr<sim::SimContext> ctx_;
   std::vector<workload::SimPoint> points_;
   std::vector<std::vector<workload::TraceEntry>> intervals_;
   /// Per simulation point: addresses of all memory operations preceding it

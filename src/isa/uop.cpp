@@ -2,31 +2,7 @@
 
 #include <cstdio>
 
-#include "common/check.hpp"
-
 namespace vcsteer::isa {
-
-std::uint32_t latency(OpClass op) {
-  switch (op) {
-    case OpClass::kIntAlu: return 1;
-    case OpClass::kIntMul: return 3;
-    case OpClass::kIntDiv: return 20;
-    case OpClass::kFpAdd: return 3;
-    case OpClass::kFpMul: return 5;
-    case OpClass::kFpDiv: return 20;
-    case OpClass::kLoad: return 1;    // address generation; cache adds the rest
-    case OpClass::kStore: return 1;
-    case OpClass::kBranch: return 1;
-    case OpClass::kCopy: return 1;
-    case OpClass::kNop: return 1;
-  }
-  VCSTEER_CHECK_MSG(false, "unknown op class");
-}
-
-bool uses_fp_queue(OpClass op) {
-  return op == OpClass::kFpAdd || op == OpClass::kFpMul ||
-         op == OpClass::kFpDiv;
-}
 
 const char* mnemonic(OpClass op) {
   switch (op) {

@@ -4,70 +4,67 @@ namespace vcsteer::sim {
 
 void ClusterBackend::issue() {
   ClusterState& cl = state_.clusters[cluster_];
+  issue_queue(cl, cl.iq_int, state_.config.issue_width_int, /*fp_queue=*/false);
+  issue_queue(cl, cl.iq_fp, state_.config.issue_width_fp, /*fp_queue=*/true);
+}
 
-  for (auto* queue : {&cl.iq_int, &cl.iq_fp}) {
-    const bool fp_queue = (queue == &cl.iq_fp);
-    const std::uint32_t width = fp_queue ? state_.config.issue_width_fp
-                                         : state_.config.issue_width_int;
-    for (std::uint32_t slot = 0; slot < width; ++slot) {
-      IqEntry* best = nullptr;
-      for (IqEntry& e : *queue) {
-        if (!e.valid) continue;
-        const isa::MicroOp& uop = state_.program.uop(e.uop);
-        bool ready = true;
-        for (std::uint8_t s = 0; s < e.num_srcs && ready; ++s) {
-          if (e.src_tags[s] == kNoTag) continue;
-          ready = state_.value_ready_in(state_.values[e.src_tags[s]], cluster_,
-                                        state_.cycle);
-        }
-        if (!ready) continue;
-        // Unpipelined divider: one divide in flight per cluster.
-        if ((uop.op == isa::OpClass::kIntDiv ||
-             uop.op == isa::OpClass::kFpDiv) &&
-            cl.div_busy_until > state_.cycle) {
-          continue;
-        }
-        if (best == nullptr || e.seq < best->seq) best = &e;
-      }
-      if (best == nullptr) break;
-
-      const isa::MicroOp& uop = state_.program.uop(best->uop);
-      std::uint64_t done = state_.cycle + isa::latency(uop.op);
-      if (uop.is_load()) {
-        // Store-to-load forwarding: newest older store to the same
-        // 8-byte word with a known address supplies the value directly.
-        auto& records = commit_.store_records();
-        bool forwarded = false;
-        for (auto it = records.rbegin(); it != records.rend(); ++it) {
-          if (it->seq >= best->seq) continue;
-          if (it->addr_known && (it->addr >> 3) == (best->addr >> 3)) {
-            forwarded = true;
-            break;
-          }
-        }
-        done += forwarded ? 1
-                          : memory_.load_latency(best->addr, state_.cycle + 1);
-      } else if (uop.is_store()) {
-        // The store's cache access happens off the critical path; charge
-        // it to the hierarchy (ports, fills) without delaying completion.
-        memory_.store_latency(best->addr, state_.cycle + 1);
-        for (StoreRecord& rec : commit_.store_records()) {
-          if (rec.seq == best->seq) {
-            rec.addr = best->addr;
-            rec.addr_known = true;
-            break;
-          }
-        }
-      }
-      if (uop.op == isa::OpClass::kIntDiv || uop.op == isa::OpClass::kFpDiv) {
-        cl.div_busy_until = done;
-      }
-      state_.completions.push(Completion{done, best->seq, best->dst_tag,
-                                         static_cast<std::uint8_t>(cluster_),
-                                         /*is_copy_arrival=*/false});
-      best->valid = false;
-      --state_.used_for(cl, uop.op);
+void ClusterBackend::issue_queue(ClusterState& cl, SlotPool<IqEntry>& pool,
+                                 std::uint32_t width, bool fp_queue) {
+  // Walk the seq-ordered ready list: every entry on it has all sources
+  // available in this cluster, so the walk visits candidates oldest-first —
+  // exactly the repeated oldest-eligible scan, at O(width) instead of
+  // O(width x queue size). Divider-blocked entries are skipped in place;
+  // issuing a divide only *raises* div_busy_until, so nothing skipped can
+  // become eligible again within the cycle.
+  std::uint32_t issued = 0;
+  std::uint32_t idx = pool.ready_head();
+  while (idx != kNilIdx && issued < width) {
+    IqEntry& e = pool[idx];
+    const std::uint32_t next = e.ready_next;
+    const isa::MicroOp& uop = state_.program.uop(e.uop);
+    const bool is_div =
+        uop.op == isa::OpClass::kIntDiv || uop.op == isa::OpClass::kFpDiv;
+    // Unpipelined divider: one divide in flight per cluster.
+    if (is_div && cl.div_busy_until > state_.cycle) {
+      idx = next;
+      continue;
     }
+
+    std::uint64_t done = state_.cycle + isa::latency(uop.op);
+    if (uop.is_load()) {
+      // Store-to-load forwarding: newest older store to the same
+      // 8-byte word with a known address supplies the value directly.
+      auto& records = commit_.store_records();
+      bool forwarded = false;
+      for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        if (it->seq >= e.seq) continue;
+        if (it->addr_known && (it->addr >> 3) == (e.addr >> 3)) {
+          forwarded = true;
+          break;
+        }
+      }
+      done += forwarded ? 1 : memory_.load_latency(e.addr, state_.cycle + 1);
+    } else if (uop.is_store()) {
+      // The store's cache access happens off the critical path; charge
+      // it to the hierarchy (ports, fills) without delaying completion.
+      memory_.store_latency(e.addr, state_.cycle + 1);
+      for (StoreRecord& rec : commit_.store_records()) {
+        if (rec.seq == e.seq) {
+          rec.addr = e.addr;
+          rec.addr_known = true;
+          break;
+        }
+      }
+    }
+    if (is_div) cl.div_busy_until = done;
+    state_.completions.push(Completion{done, e.seq, e.dst_tag,
+                                       static_cast<std::uint8_t>(cluster_),
+                                       /*is_copy_arrival=*/false});
+    pool.ready_remove(idx);
+    pool.release(idx);
+    --(fp_queue ? cl.fp_used : cl.int_used);
+    ++issued;
+    idx = next;
   }
 }
 

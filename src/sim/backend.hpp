@@ -2,7 +2,9 @@
 // issue queues, fully pipelined functional units (divides block the
 // cluster's single divider), load/store timing against the shared memory
 // hierarchy, and store-to-load forwarding against the commit unit's store
-// records.
+// records. Select walks each queue's event-maintained ready list (see
+// core_state.hpp) oldest-first, so its cost is O(issue width) rather than
+// O(queue size) per slot.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +27,9 @@ class ClusterBackend {
   std::uint32_t cluster_index() const { return cluster_; }
 
  private:
+  void issue_queue(ClusterState& cl, SlotPool<IqEntry>& pool,
+                   std::uint32_t width, bool fp_queue);
+
   CoreState& state_;
   CommitUnit& commit_;
   mem::MemoryHierarchy& memory_;

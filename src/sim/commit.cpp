@@ -64,9 +64,7 @@ void CommitUnit::complete() {
     const Completion done = state_.completions.top();
     state_.completions.pop();
     if (done.tag != kNoTag) {
-      Value& v = state_.values[done.tag];
-      v.avail_mask |= cluster_bit(done.cluster);
-      v.avail_cycle[done.cluster] = done.cycle;
+      state_.publish(done.tag, done.cluster, done.cycle);
     }
     if (done.is_copy_arrival) continue;
     RobEntry& entry = rob_[done.seq % rob_.size()];

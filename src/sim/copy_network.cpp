@@ -1,5 +1,7 @@
 #include "sim/copy_network.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace vcsteer::sim {
@@ -17,43 +19,52 @@ bool CopyNetwork::request_copy(Tag tag, std::uint32_t cluster,
       v.fp ? state_.config.regfile_fp : state_.config.regfile_int;
   if (target_regs >= target_cap) return false;
 
-  for (CopyEntry& e : producer.iq_copy) {
-    if (e.valid) continue;
-    e.valid = true;
-    e.src_tag = tag;
-    e.to = static_cast<std::uint8_t>(cluster);
-    e.seq = seq;  // age relative to the dispatching consumer
-    ++producer.copy_used;
-    v.copy_mask |= cluster_bit(cluster);
-    ++target_regs;
-    ++state_.stats.copies_generated;
-    return true;
+  const std::uint32_t idx = producer.iq_copy.alloc();
+  CopyEntry& e = producer.iq_copy[idx];
+  e.src_tag = tag;
+  e.to = static_cast<std::uint8_t>(cluster);
+  e.seq = seq;  // age relative to the dispatching consumer
+  e.tie = state_.copy_ties++;
+  ++producer.copy_used;
+  v.copy_mask |= cluster_bit(cluster);
+  ++target_regs;
+  ++state_.stats.copies_generated;
+  if ((v.avail_mask & cluster_bit(v.home)) != 0) {
+    // Source already sits in the producer's register file: selectable from
+    // the cycle after dispatch (issue precedes dispatch within a cycle).
+    e.ready_at = std::max(v.avail_cycle[v.home] + 1, state_.cycle + 1);
+    producer.iq_copy.ready_insert(idx);
+  } else {
+    state_.add_waiter(tag, v.home, WaiterKind::kCopy, idx);
   }
-  VCSTEER_CHECK_MSG(false, "copy_used out of sync with copy queue");
+  return true;
 }
 
 void CopyNetwork::issue(std::uint32_t cluster) {
   ClusterState& cl = state_.clusters[cluster];
-  for (std::uint32_t slot = 0; slot < state_.config.issue_width_copy; ++slot) {
-    CopyEntry* best = nullptr;
-    for (CopyEntry& e : cl.iq_copy) {
-      if (!e.valid) continue;
-      if (state_.cycle == 0 ||
-          !state_.value_ready_in(state_.values[e.src_tag], cluster,
-                                 state_.cycle - 1)) {
-        continue;
-      }
-      if (best == nullptr || e.seq < best->seq) best = &e;
+  // Oldest-first walk of the copy ready list. An entry published in this
+  // very cycle carries ready_at == cycle + 1 (wakeup then select) and is
+  // skipped in place; it is visited at most once more, next cycle.
+  std::uint32_t issued = 0;
+  std::uint32_t idx = cl.iq_copy.ready_head();
+  while (idx != kNilIdx && issued < state_.config.issue_width_copy) {
+    CopyEntry& e = cl.iq_copy[idx];
+    const std::uint32_t next = e.ready_next;
+    if (e.ready_at > state_.cycle) {
+      idx = next;
+      continue;
     }
-    if (best == nullptr) break;
     // Arrival = network transit (topology + contention) + one cycle to
     // write the value into the target cluster's register file.
     const std::uint64_t crossed =
-        interconnect_->route_copy(cluster, best->to, state_.cycle);
-    state_.completions.push(Completion{crossed + 1, kCopySeq, best->src_tag,
-                                       best->to, /*is_copy_arrival=*/true});
-    best->valid = false;
+        interconnect_->route_copy(cluster, e.to, state_.cycle);
+    state_.completions.push(Completion{crossed + 1, kCopySeq, e.src_tag, e.to,
+                                       /*is_copy_arrival=*/true});
+    cl.iq_copy.ready_remove(idx);
+    cl.iq_copy.release(idx);
     --cl.copy_used;
+    ++issued;
+    idx = next;
   }
 }
 

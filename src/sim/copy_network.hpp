@@ -32,10 +32,12 @@ class CopyNetwork {
   bool request_copy(Tag tag, std::uint32_t cluster, std::uint64_t seq);
 
   /// Copy-queue select for `cluster`: the oldest copies whose source value
-  /// is present locally. A copy wakes up when its source completes and is
-  /// *selected* the next cycle: unlike same-cluster consumers there is no
-  /// bypass into the copy network, so a cross-cluster dependence costs
-  /// wakeup + select + network transit on top of the producer latency.
+  /// is present locally, taken from the queue's event-maintained ready
+  /// list. A copy wakes up when its source completes and is *selected* the
+  /// next cycle (CopyEntry::ready_at): unlike same-cluster consumers there
+  /// is no bypass into the copy network, so a cross-cluster dependence
+  /// costs wakeup + select + network transit on top of the producer
+  /// latency.
   void issue(std::uint32_t cluster);
 
   const Interconnect& interconnect() const { return *interconnect_; }

@@ -9,13 +9,27 @@
 // counter and the run's statistics. Each component owns the state only it
 // touches (the ROB/LSQ live in CommitUnit, the fetch pipe in FrontEnd, the
 // interconnect in CopyNetwork).
+//
+// The wakeup/select machinery is event-driven — the structure the clustered
+// microarchitecture literature treats as the cycle-time-critical loop (see
+// bench/table1_complexity.cpp). Every in-flight Value carries a waiter
+// list; when a completion (or copy arrival) publishes the value in a
+// cluster, the waiters registered for that (value, cluster) pair are woken
+// and, once their last pending source arrives, pushed into their queue's
+// seq-ordered ready list. Select then walks the ready list and takes the
+// first issue-width eligible entries — O(issue width), independent of queue
+// size — instead of rescanning every queue entry per slot. Queue storage is
+// a SlotPool per queue: slot-stable entries, a free-list allocator, and the
+// intrusive ready links, so a whole run performs no per-entry allocation.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/config.hpp"
 #include "isa/uop.hpp"
 #include "program/program.hpp"
@@ -27,6 +41,8 @@ using Tag = std::uint32_t;
 constexpr Tag kNoTag = ~0u;
 /// Completion-queue seq marking a copy arrival (no ROB entry to complete).
 constexpr std::uint64_t kCopySeq = ~0ULL;
+/// Null link in the slot-pool ready lists and the value waiter chains.
+constexpr std::uint32_t kNilIdx = ~0u;
 
 inline std::uint8_t cluster_bit(std::uint32_t cluster) {
   return static_cast<std::uint8_t>(1u << cluster);
@@ -38,31 +54,132 @@ struct Value {
   std::uint8_t avail_mask = 0;  ///< bit c: ready in cluster c at avail_cycle[c].
   std::uint8_t copy_mask = 0;   ///< bit c: replica present or under way.
   bool fp = false;
+  /// Head of the waiter chain (CoreState::waiter_nodes): queue entries to
+  /// wake when this value is published in the cluster they wait in.
+  std::uint32_t waiters = kNilIdx;
   std::array<std::uint64_t, kMaxClusters> avail_cycle{};
 };
 
 struct IqEntry {
-  bool valid = false;
   prog::UopId uop = prog::kInvalidUop;
-  std::uint64_t seq = 0;  ///< dispatch order, for age-based select.
-  std::uint8_t num_srcs = 0;
+  std::uint64_t seq = 0;   ///< dispatch order, for age-based select.
+  std::uint64_t addr = 0;  ///< memory address (loads/stores).
   std::array<Tag, 2> src_tags{kNoTag, kNoTag};
   Tag dst_tag = kNoTag;
-  std::uint64_t addr = 0;  ///< memory address (loads/stores).
+  std::uint8_t num_srcs = 0;
+  /// Distinct sources not yet available in this cluster; the entry joins
+  /// the ready list when the count reaches zero.
+  std::uint8_t waiting_srcs = 0;
+  std::uint32_t ready_prev = kNilIdx;
+  std::uint32_t ready_next = kNilIdx;
+  std::uint64_t select_key() const { return seq; }
 };
 
 struct CopyEntry {
-  bool valid = false;
   Tag src_tag = kNoTag;
   std::uint8_t to = 0;
-  std::uint64_t seq = 0;
+  std::uint64_t seq = 0;  ///< age of the dispatching consumer.
+  /// Request order, breaking seq ties: one dispatch can put two copies with
+  /// the consumer's seq in the same producer queue, and select must prefer
+  /// the first-requested one (the order the slot scan used to give).
+  std::uint64_t tie = 0;
+  /// Earliest select cycle: the source's publish cycle + 1 (wakeup and
+  /// select are consecutive cycles — no bypass into the copy network).
+  std::uint64_t ready_at = 0;
+  std::uint32_t ready_prev = kNilIdx;
+  std::uint32_t ready_next = kNilIdx;
+  std::pair<std::uint64_t, std::uint64_t> select_key() const {
+    return {seq, tie};
+  }
+};
+
+/// Fixed-capacity slot pool backing one issue queue: slot-stable entries
+/// (waiters hold slot indices across cycles), a free-list allocator, and an
+/// intrusive doubly-linked ready list kept in select_key() order. alloc and
+/// release are O(1); ready_insert scans from the tail, which is short in
+/// practice (dispatch-time inserts carry the youngest seq and append in
+/// O(1); wakeups arrive in rough age order).
+template <typename Entry>
+class SlotPool {
+ public:
+  void init(std::uint32_t capacity) {
+    slots_.assign(capacity, Entry{});
+    free_.reserve(capacity);
+    reset();
+  }
+
+  void reset() {
+    free_.clear();
+    for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i > 0;)
+      free_.push_back(--i);
+    head_ = tail_ = kNilIdx;
+  }
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  std::uint32_t alloc() {
+    // Always-on: an empty free list means the used counters desynced from
+    // the pool — state corruption that must never be carried forward.
+    VCSTEER_CHECK_MSG(!free_.empty(), "slot pool out of entries");
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    slots_[idx] = Entry{};
+    return idx;
+  }
+
+  void release(std::uint32_t idx) {
+    VCSTEER_DCHECK(idx < slots_.size());
+    free_.push_back(idx);
+  }
+
+  Entry& operator[](std::uint32_t idx) { return slots_[idx]; }
+  const Entry& operator[](std::uint32_t idx) const { return slots_[idx]; }
+
+  std::uint32_t ready_head() const { return head_; }
+
+  void ready_insert(std::uint32_t idx) {
+    Entry& e = slots_[idx];
+    std::uint32_t after = tail_;
+    while (after != kNilIdx && e.select_key() < slots_[after].select_key())
+      after = slots_[after].ready_prev;
+    e.ready_prev = after;
+    if (after == kNilIdx) {
+      e.ready_next = head_;
+      head_ = idx;
+    } else {
+      e.ready_next = slots_[after].ready_next;
+      slots_[after].ready_next = idx;
+    }
+    if (e.ready_next == kNilIdx) {
+      tail_ = idx;
+    } else {
+      slots_[e.ready_next].ready_prev = idx;
+    }
+  }
+
+  void ready_remove(std::uint32_t idx) {
+    Entry& e = slots_[idx];
+    (e.ready_prev == kNilIdx ? head_ : slots_[e.ready_prev].ready_next) =
+        e.ready_next;
+    (e.ready_next == kNilIdx ? tail_ : slots_[e.ready_next].ready_prev) =
+        e.ready_prev;
+    e.ready_prev = e.ready_next = kNilIdx;
+  }
+
+ private:
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNilIdx;
+  std::uint32_t tail_ = kNilIdx;
 };
 
 /// One cluster's issue queues and occupancy counters.
 struct ClusterState {
-  std::vector<IqEntry> iq_int;
-  std::vector<IqEntry> iq_fp;
-  std::vector<CopyEntry> iq_copy;
+  SlotPool<IqEntry> iq_int;
+  SlotPool<IqEntry> iq_fp;
+  SlotPool<CopyEntry> iq_copy;
   std::uint32_t int_used = 0;
   std::uint32_t fp_used = 0;
   std::uint32_t copy_used = 0;
@@ -81,10 +198,15 @@ struct Completion {
   bool operator>(const Completion& other) const { return cycle > other.cycle; }
 };
 
+/// Which queue a waiter's entry index refers to.
+enum class WaiterKind : std::uint8_t { kIqInt, kIqFp, kCopy };
+
 struct CoreState {
   CoreState(const MachineConfig& config, const prog::Program& program);
 
-  /// Back to the post-construction state (a fresh run).
+  /// Back to the post-construction state (a fresh run). Keeps every pool's
+  /// storage, so a reused CoreState (see sim/sim_context.hpp) runs without
+  /// reallocating.
   void reset();
 
   // ----- value tracking -----
@@ -98,8 +220,28 @@ struct CoreState {
            v.avail_cycle[cluster] <= cycle;
   }
 
+  // ----- event-driven wakeup -----
+  /// Register queue entry `entry` (a `kind` slot in `cluster`) to be woken
+  /// when `tag` is published in `cluster`.
+  void add_waiter(Tag tag, std::uint8_t cluster, WaiterKind kind,
+                  std::uint32_t entry);
+  /// Make `tag` available in `cluster` as of `cycle` and wake every waiter
+  /// registered for that (value, cluster) pair: compute entries whose last
+  /// pending source this is join their ready list immediately (select may
+  /// pick them this very cycle), copies become selectable next cycle.
+  void publish(Tag tag, std::uint8_t cluster, std::uint64_t cycle);
+
+  // ----- stale rename view (parallel-steering ablation) -----
+  /// Record that architectural register `flat` was renamed this dispatch
+  /// cycle; the stale view picks the change up at the next cycle's
+  /// refresh_stale_view().
+  void note_renamed(std::uint16_t flat) { renamed_regs.push_back(flat); }
+  /// Apply the previous dispatch cycle's rename deltas to stale_home —
+  /// O(renames last cycle) instead of re-snapshotting the whole table.
+  void refresh_stale_view();
+
   // ----- queue plumbing -----
-  std::vector<IqEntry>& queue_for(ClusterState& c, isa::OpClass op) {
+  SlotPool<IqEntry>& queue_for(ClusterState& c, isa::OpClass op) {
     return isa::uses_fp_queue(op) ? c.iq_fp : c.iq_int;
   }
   std::uint32_t& used_for(ClusterState& c, isa::OpClass op) {
@@ -118,11 +260,27 @@ struct CoreState {
   std::vector<Value> values;
   std::vector<Tag> free_values;
 
+  /// Waiter chain nodes, pooled across all values (free-listed; grows to
+  /// the run's high-water mark once and is then churn-free).
+  struct Waiter {
+    std::uint32_t entry = kNilIdx;  ///< slot index in the waiting queue.
+    std::uint32_t next = kNilIdx;   ///< next waiter of the same value.
+    std::uint8_t cluster = 0;       ///< publish cluster this waits for.
+    WaiterKind kind = WaiterKind::kIqInt;
+  };
+  std::vector<Waiter> waiter_nodes;
+  std::vector<std::uint32_t> waiter_free;
+
+  /// Request-order counter breaking CopyEntry seq ties (reset per run).
+  std::uint64_t copy_ties = 0;
+
   /// Rename table: architectural register -> tag of current value.
   std::array<Tag, isa::kNumFlatRegs> rename{};
   /// Snapshot of value homes at the start of the dispatch cycle (stale view
-  /// for the parallel-steering ablation).
+  /// for the parallel-steering ablation), maintained incrementally from
+  /// `renamed_regs`.
   std::array<int, isa::kNumFlatRegs> stale_home{};
+  std::vector<std::uint16_t> renamed_regs;
 
   std::priority_queue<Completion, std::vector<Completion>,
                       std::greater<Completion>>

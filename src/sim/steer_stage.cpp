@@ -9,12 +9,9 @@ namespace vcsteer::sim {
 
 void SteerStage::dispatch(steer::SteeringPolicy& policy,
                           const steer::SteerView& view) {
-  // Snapshot the rename view for the parallel-steering ablation.
-  for (std::uint16_t r = 0; r < isa::kNumFlatRegs; ++r) {
-    const Tag tag = state_.rename[r];
-    state_.stale_home[r] =
-        tag == kNoTag ? steer::kNoHome : state_.values[tag].home;
-  }
+  // Bring the cycle-start rename view (parallel-steering ablation) up to
+  // date by replaying last cycle's rename deltas.
+  state_.refresh_stale_view();
   policy.begin_cycle(view);
 
   const MachineConfig& config = state_.config;
@@ -131,7 +128,6 @@ void SteerStage::dispatch(steer::SteeringPolicy& policy,
     }
 
     IqEntry iq;
-    iq.valid = true;
     iq.uop = entry.uop;
     iq.seq = seq;
     iq.num_srcs = uop.num_srcs;
@@ -151,21 +147,30 @@ void SteerStage::dispatch(steer::SteeringPolicy& policy,
       rob.prev_tag = state_.rename[flat];
       const Tag tag = state_.alloc_value(static_cast<std::uint8_t>(c), dst_fp);
       state_.rename[flat] = tag;
+      state_.note_renamed(flat);
       rob.dst_tag = tag;
       iq.dst_tag = tag;
       (dst_fp ? cl.regs_used_fp : cl.regs_used_int) += 1;
     }
 
-    std::vector<IqEntry>& queue = state_.queue_for(cl, uop.op);
-    bool inserted = false;
-    for (IqEntry& slot : queue) {
-      if (!slot.valid) {
-        slot = iq;
-        inserted = true;
-        break;
-      }
+    // Pool insert + wakeup registration: one waiter per distinct source not
+    // yet available here (home completion or the just-requested copy's
+    // arrival publishes it); an entry with no pending sources goes straight
+    // onto the ready list and can issue next cycle.
+    SlotPool<IqEntry>& queue = state_.queue_for(cl, uop.op);
+    const std::uint32_t slot = queue.alloc();
+    const WaiterKind kind = fp ? WaiterKind::kIqFp : WaiterKind::kIqInt;
+    IqEntry& inserted = queue[slot];
+    inserted = iq;
+    for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
+      const Tag tag = inserted.src_tags[s];
+      if (tag == kNoTag) continue;
+      if (s == 1 && tag == inserted.src_tags[0]) continue;  // dual read
+      if ((state_.values[tag].avail_mask & cluster_bit(c)) != 0) continue;
+      state_.add_waiter(tag, static_cast<std::uint8_t>(c), kind, slot);
+      ++inserted.waiting_srcs;
     }
-    VCSTEER_CHECK(inserted);
+    if (inserted.waiting_srcs == 0) queue.ready_insert(slot);
     ++state_.used_for(cl, uop.op);
 
     const std::uint64_t allocated = commit_.allocate(rob, uop.is_mem());

@@ -29,6 +29,14 @@ constexpr int kNoHome = -1;
 
 /// Read-only view of the machine state a steering unit can inspect.
 /// Implemented by the simulator core (and by lightweight mocks in tests).
+///
+/// Contract the event-driven kernel preserves: the value-location reads
+/// (value_home / value_in_cluster / value_in_flight) are O(1) mask tests
+/// against the live value table and reflect every micro-op steered earlier
+/// in the *same* cycle (the sequential view); value_home_stale reads the
+/// incrementally-maintained cycle-start snapshot. Wakeup bookkeeping never
+/// changes what these return — policies cannot observe waiter lists or
+/// ready queues, only the occupancy counters below.
 class SteerView {
  public:
   virtual ~SteerView() = default;

@@ -566,6 +566,7 @@ TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
   s.points = 25;
   s.simulated = 0;
   s.cache_hits = 25;
+  s.uops = 1500000;
   s.launch_workers = 2;
   s.launch_max_retries = 2;
   WorkerStatus w0;
@@ -588,7 +589,7 @@ TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
   EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(json.find("\"sweep\":{\"points\":25,\"simulated\":0,"
                       "\"cache_hits\":25,\"skipped\":0,"
-                      "\"corrupt_recovered\":0}"),
+                      "\"corrupt_recovered\":0,\"uops\":1500000}"),
             std::string::npos);
   EXPECT_NE(json.find("\"launch\":{\"workers\":2,\"max_retries\":2,"
                       "\"ok\":true,\"failed_shards\":0"),
