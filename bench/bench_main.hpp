@@ -22,6 +22,11 @@
 //                  cache read when every shard succeeded. --jobs becomes
 //                  the total thread budget, split across the workers.
 //   --cache-dir D  on-disk result cache; warm re-runs skip simulation.
+//   --progress     per-job heartbeat lines on stderr (done/total, elapsed,
+//                  ETA) for long in-process sweeps, routed through
+//                  common/log.hpp at info level. VCSTEER_LOG=info|debug in
+//                  the environment enables the same verbosity without the
+//                  flag (error|warn quieten it).
 //   --json FILE    write raw results + all tables as one JSON document.
 //   --summary-json FILE
 //                  machine-readable run summary (sweep counters, wall time,
@@ -48,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "exec/launcher.hpp"
 #include "exec/result_sink.hpp"
 #include "exec/sweep.hpp"
@@ -65,6 +71,7 @@ struct Options {
   unsigned jobs = exec::ThreadPool::default_jobs();
   bool smoke = false;
   bool csv = false;
+  bool progress = false;  // --progress: per-job heartbeat on stderr
   std::uint64_t seed = 0;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
@@ -122,7 +129,9 @@ struct Options {
     return std::max<std::size_t>(jobs_before_crash, 1);
   }
 
-  /// Sweep options with a stderr dot per finished (trace, machine) job.
+  /// Sweep options with a stderr dot per finished (trace, machine) job —
+  /// plus, with --progress (or VCSTEER_LOG=info), a heartbeat line with
+  /// done/total, elapsed seconds and a linear ETA.
   exec::SweepOptions sweep_options() const {
     exec::SweepOptions opt;
     opt.jobs = jobs;
@@ -130,10 +139,27 @@ struct Options {
     opt.seed_salt = seed;
     opt.shard_index = shard_index;
     opt.shard_count = shard_count;
-    opt.progress = [crash_after = crash_after_jobs()](std::size_t done,
-                                                      std::size_t total) {
+    opt.progress = [crash_after = crash_after_jobs(),
+                    t0 = std::chrono::steady_clock::now()](std::size_t done,
+                                                           std::size_t total) {
       std::fputc('.', stderr);
       if (done == total) std::fputc('\n', stderr);
+      // The heartbeat goes through the leveled logger: --progress raised
+      // the level to info in parse_args, and VCSTEER_LOG can do the same
+      // (or silence it) from the environment.
+      if (static_cast<int>(log_level()) >=
+          static_cast<int>(LogLevel::kInfo)) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const double eta =
+            done > 0 ? elapsed * static_cast<double>(total - done) /
+                           static_cast<double>(done)
+                     : 0.0;
+        VCSTEER_LOG_INFO("progress %zu/%zu jobs, %.1fs elapsed, ~%.1fs left",
+                         done, total, elapsed, eta);
+      }
       if (crash_after != 0 && done >= crash_after) {
         std::fflush(nullptr);
         std::raise(SIGKILL);
@@ -147,7 +173,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--smoke|--quick] [--seed S]\n"
                "          [--shard I/N] [--launch N] [--cache-dir DIR]\n"
-               "          [--json FILE] [--summary-json FILE] [--csv]\n",
+               "          [--json FILE] [--summary-json FILE] [--csv]\n"
+               "          [--progress]\n",
                bench_name.c_str());
   std::exit(code);
 }
@@ -156,6 +183,7 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
   Options opt;
   opt.bench_name = std::move(bench_name);
   opt.exe = argc > 0 ? argv[0] : "";
+  init_log_from_env();  // VCSTEER_LOG override applies to every bench
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s: %s needs a value\n", opt.bench_name.c_str(),
@@ -211,6 +239,12 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
       opt.summary_json_path = value(i);
     } else if (std::strcmp(arg, "--csv") == 0) {
       opt.csv = true;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      opt.progress = true;
+      // The heartbeat rides the info level; never lower an env-raised one.
+      if (static_cast<int>(log_level()) < static_cast<int>(LogLevel::kInfo)) {
+        set_log_level(LogLevel::kInfo);
+      }
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(opt.bench_name, 0);
     } else {
@@ -366,8 +400,13 @@ class Output {
     skipped_ += sweep.skipped;
     corrupt_ += sweep.cache_corrupt;
     for (const harness::RunResult& r : sweep.points()) {
-      if (!r.trace.empty()) uops_ += r.committed_uops;
+      if (!r.trace.empty()) {
+        uops_ += r.committed_uops;
+        cycles_ += r.cycles;
+      }
     }
+    experiments_ += sweep.experiments;
+    phases_ += sweep.phases;
     if (sweep.skipped > 0) {
       std::fprintf(stderr,
                    "%s: %zu points (%zu simulated, %zu cache hits, "
@@ -402,6 +441,9 @@ class Output {
     summary.skipped = skipped_;
     summary.corrupt_recovered = corrupt_;
     summary.uops = uops_;
+    summary.cycles = cycles_;
+    summary.experiments = experiments_;
+    summary.phases = phases_;
     if (launch_report_) {
       summary.launch_workers = opt_.launch;
       summary.launch_max_retries = kLaunchMaxRetries;
@@ -428,6 +470,9 @@ class Output {
   std::size_t skipped_ = 0;
   std::size_t corrupt_ = 0;
   std::uint64_t uops_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::size_t experiments_ = 0;
+  exec::PhaseSeconds phases_;
   bool first_ = true;
 };
 

@@ -55,6 +55,41 @@ void BM_SimulatorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
 
+// Observer-layer overhead on the same trace: NullObserver must match the
+// bare simulator (every hook site vanishes under if constexpr), and
+// TimelineObserver shows the full cost of recording every event. Compare
+// against BM_SimulatorThroughput (the StatsObserver default).
+void BM_SimulatorThroughputNullObserver(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(50'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  sim::ClusteredCoreT<sim::NullObserver> core(cfg, wl.program);
+  const auto policy = steer::make_policy(steer::Scheme::kOp, cfg);
+  for (auto _ : state) {
+    const sim::SimStats stats = core.run(entries, *policy);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);  // uops simulated
+}
+BENCHMARK(BM_SimulatorThroughputNullObserver)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorThroughputTimelineObserver(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(50'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  sim::ClusteredCoreT<sim::TimelineObserver> core(cfg, wl.program);
+  const auto policy = steer::make_policy(steer::Scheme::kOp, cfg);
+  for (auto _ : state) {
+    const sim::SimStats stats = core.run(entries, *policy);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);  // uops simulated
+}
+BENCHMARK(BM_SimulatorThroughputTimelineObserver)
+    ->Unit(benchmark::kMillisecond);
+
 /// Minimal one-uop program for the kernel microbenches: CoreState needs a
 /// program reference but the isolated loops never fetch from it.
 prog::Program kernel_program() {

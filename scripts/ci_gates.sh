@@ -14,11 +14,17 @@
 #             assembly run is a pure cache read
 #   launch    --launch 2 owns the shard lifecycle end to end and its
 #             assembly pass never re-simulates
+#   observe   observer layer: a fig7 smoke sweep's --summary-json carries
+#             per-phase timing spans and event counts, and the
+#             pipeline_viewer's event counts reconcile exactly with the
+#             simulator's own SimStats counters
 #   perf      NON-BLOCKING perf trajectory: runs fig5_twocluster --smoke
 #             --jobs 1, derives kuops/s from its --summary-json/--json via
 #             scripts/perf_gate.py, and rewrites BENCH_perf.json at the repo
 #             root (warning, never failing, on a >10% drop vs the committed
-#             baseline). Run it from a Release tree (cmake --preset release)
+#             baseline). When the microbench binary exists, the wakeup/
+#             select, value-table-churn and arena-reuse kernels are recorded
+#             alongside. Run it from a Release tree (cmake --preset release)
 #             — any other build type only measures assert overhead.
 #
 # Assertions run against the benches' --summary-json documents (via
@@ -72,11 +78,50 @@ gate_golden() {
   ctest --test-dir "$BUILD_DIR" -L golden --output-on-failure
 }
 
+gate_observe() {
+  warn_if_not_release
+  # The summary of any sweep must break its wall clock into per-phase spans
+  # and carry the event counters (experiments constructed, cycles simulated).
+  "$BUILD_DIR/fig7_fourcluster" --smoke --jobs 2 \
+    --summary-json "$GATE_OUT/observe_summary.json"
+  assert_summary "$GATE_OUT/observe_summary.json" \
+    'ok' 'events["experiments"] > 0' 'events["cycles"] > 0' \
+    'phases["trace_build_s"] > 0' 'phases["simulate_s"] > 0' \
+    'phases["warmup_s"] >= 0' 'phases["annotate_s"] >= 0' \
+    'phases["cache_io_s"] >= 0'
+  # The viewer runs a TimelineObserver core and exits non-zero when its
+  # event counts disagree with SimStats; assert on the JSON too so the gate
+  # does not depend on the exit-code plumbing alone.
+  "$BUILD_DIR/pipeline_viewer" --trace 164.gzip-1 --scheme vc --clusters 4 \
+    --uops 20000 --window 100:200 --quiet \
+    --json "$GATE_OUT/observe_viewer.json"
+  assert_summary "$GATE_OUT/observe_viewer.json" \
+    'reconciled' 'dropped_events == 0' \
+    'events["commits"] == stats["committed_uops"]' \
+    'events["steers"] == stats["dispatched_uops"]' \
+    'events["cycles"] == stats["cycles"]' \
+    'events["copy_injects"] == stats["copies_routed"]' \
+    'len(timeline) > 0'
+}
+
 gate_perf() {
   warn_if_not_release
   "$BUILD_DIR/fig5_twocluster" --smoke --jobs 1 \
     --json "$GATE_OUT/perf_results.json" \
     --summary-json "$GATE_OUT/perf_summary.json"
+  # The observers-on default must still spend its time simulating, not
+  # observing: the phase spans have to exist and account for real work.
+  assert_summary "$GATE_OUT/perf_summary.json" \
+    'ok' 'phases["simulate_s"] > 0' 'events["cycles"] > 0'
+  # Kernel-level trajectory, recorded when the google-benchmark binary was
+  # built (find_package(benchmark) is optional).
+  local microbench_json=""
+  if [[ -x "$BUILD_DIR/microbench" ]]; then
+    microbench_json="$GATE_OUT/perf_microbench.json"
+    "$BUILD_DIR/microbench" \
+      --benchmark_filter='BM_WakeupSelect|BM_ValueTableChurn|BM_ArenaRunReused' \
+      --benchmark_format=json > "$microbench_json"
+  fi
   # Only a Release run may rewrite the repo-root baseline; numbers from any
   # other build type land in $GATE_OUT so a default `ci_gates.sh` run from
   # a dev tree cannot silently degrade the committed BENCH_perf.json.
@@ -89,7 +134,7 @@ gate_perf() {
          "leaving the committed baseline untouched" >&2
   fi
   python3 "$ROOT/scripts/perf_gate.py" "$GATE_OUT/perf_summary.json" \
-    "$GATE_OUT/perf_results.json" "$perf_out"
+    "$GATE_OUT/perf_results.json" "$perf_out" ${microbench_json:+"$microbench_json"}
 }
 
 gate_ablation() {
@@ -158,7 +203,7 @@ gate_launch() {
     'ok' 'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
 }
 
-ALL_GATES=(tier1 golden ablation smoke shard launch perf)
+ALL_GATES=(tier1 golden ablation smoke shard launch observe perf)
 if [[ $# -eq 0 ]]; then
   GATES=("${ALL_GATES[@]}")
 else

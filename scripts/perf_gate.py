@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-trajectory gate: derive kuops/s from one bench run and track it.
 
-    perf_gate.py SUMMARY_JSON RESULTS_JSON OUT_JSON
+    perf_gate.py SUMMARY_JSON RESULTS_JSON OUT_JSON [MICROBENCH_JSON]
 
 Reads the bench's --summary-json (wall time + the sweep.uops simulated-uop
 counter) and --json results document (per-point scheme + committed uops,
@@ -11,7 +11,19 @@ BENCH_perf.json baseline), and rewrites OUT_JSON:
 
     {"bench": ..., "host": ..., "wall_seconds": ..., "total_uops": ...,
      "kuops_per_sec": ...,
-     "schemes": {"OP": {"uops": ..., "kuops_per_sec": ...}, ...}}
+     "schemes": {"OP": {"uops": ..., "kuops_per_sec": ...}, ...},
+     "phases": {"trace_build_s": ..., "annotate_s": ..., "warmup_s": ...,
+                "simulate_s": ..., "cache_io_s": ...},
+     "microbench": {"BM_WakeupSelect": {"real_time_ns": ...,
+                                        "items_per_second": ...}, ...}}
+
+"phases" is copied from the summary's per-phase wall-clock spans (where the
+run actually spent its time — trace generation vs. the cycle loop).
+MICROBENCH_JSON, when given, is a google-benchmark --benchmark_format=json
+report; the gate records the wakeup/select, value-table-churn and
+arena-reuse kernels (BM_WakeupSelect, BM_ValueTableChurn, BM_ArenaRunReused)
+so the committed baseline tracks kernel-level trajectories alongside the
+end-to-end rate.
 
 Per-scheme rates share the run's wall clock (schemes amortise trace
 generation inside one TraceExperiment, so they cannot be timed apart);
@@ -37,11 +49,40 @@ def host_id() -> str:
     return os.environ.get("PERF_GATE_HOST") or platform.node()
 
 
+# Microbench kernels tracked in the baseline (bench/microbench.cpp).
+TRACKED_KERNELS = ("BM_WakeupSelect", "BM_ValueTableChurn", "BM_ArenaRunReused")
+
+
+def read_microbench(path: str) -> dict:
+    """Extracts the tracked kernels from a google-benchmark JSON report.
+    Missing file / schema drift yields {} — the gate never blocks on it."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read microbench report ({e}); skipping",
+              file=sys.stderr)
+        return {}
+    kernels = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        base = name.split("/")[0]
+        if base not in TRACKED_KERNELS or bench.get("run_type") == "aggregate":
+            continue
+        entry = {"real_time_ns": round(float(bench.get("real_time", 0.0)), 1)}
+        if "items_per_second" in bench:
+            entry["items_per_second"] = round(bench["items_per_second"], 1)
+        # One entry per kernel: keep the first (smallest) size variant.
+        kernels.setdefault(name, entry)
+    return kernels
+
+
 def main() -> int:
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         return 0
     summary_path, results_path, out_path = sys.argv[1:4]
+    microbench_path = sys.argv[4] if len(sys.argv) == 5 else None
     try:
         with open(summary_path) as f:
             summary = json.load(f)
@@ -86,7 +127,11 @@ def main() -> int:
         "total_uops": total_uops,
         "kuops_per_sec": round(total_uops / 1000.0 / wall, 3),
         "schemes": schemes,
+        "phases": {k: round(v, 6)
+                   for k, v in summary.get("phases", {}).items()},
     }
+    if microbench_path is not None:
+        doc["microbench"] = read_microbench(microbench_path)
 
     baseline = None
     try:

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace vcsteer {
 namespace {
@@ -22,6 +24,23 @@ const char* prefix(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+void init_log_from_env() {
+  const char* value = std::getenv("VCSTEER_LOG");
+  if (value == nullptr) return;
+  if (std::strcmp(value, "error") == 0 || std::strcmp(value, "0") == 0) {
+    set_log_level(LogLevel::kError);
+  } else if (std::strcmp(value, "warn") == 0 || std::strcmp(value, "1") == 0) {
+    set_log_level(LogLevel::kWarn);
+  } else if (std::strcmp(value, "info") == 0 || std::strcmp(value, "2") == 0) {
+    set_log_level(LogLevel::kInfo);
+  } else if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "3") == 0) {
+    set_log_level(LogLevel::kDebug);
+  } else {
+    logf(LogLevel::kWarn, "unrecognised VCSTEER_LOG value '%s' ignored",
+         value);
+  }
+}
 
 void logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) > static_cast<int>(g_level.load())) return;

@@ -12,6 +12,12 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Applies the VCSTEER_LOG environment override (error|warn|info|debug,
+/// case-sensitive; numeric 0-3 also accepted). Unset or unrecognised values
+/// leave the current level alone. Called by bench_main's parse_args so every
+/// bench honours the variable; safe to call more than once.
+void init_log_from_env();
+
 /// printf-style logging to stderr with a level prefix.
 void logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -161,7 +161,7 @@ std::string cache_key(const workload::WorkloadProfile& p,
                       const harness::SimBudget& budget,
                       std::string_view custom_tag) {
   FieldWriter w;
-  w.field("format", std::uint64_t{3});  // 3: + topology-aware steering
+  w.field("format", std::uint64_t{4});  // 4: + observer occupancy/steer fields
   // Workload profile — every generator input.
   w.field("profile.name", p.name);
   w.field("profile.is_fp", std::uint64_t{p.is_fp});
@@ -294,6 +294,28 @@ CacheLookup ResultCache::lookup(const std::string& key,
       !read_sim_stats(fields, "last_interval.", &r.last_interval)) {
     return corrupt();  // truncated/garbled inside the result section
   }
+  std::uint64_t num_clusters = 0;
+  if (!get_u64(fields, "num_clusters", &num_clusters)) return corrupt();
+  r.num_clusters = static_cast<std::uint32_t>(num_clusters);
+  for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
+    const std::string idx = std::to_string(c);
+    if (!get_double(fields, "avg_iq_occupancy." + idx,
+                    &r.avg_iq_occupancy[c]) ||
+        !get_double(fields, "avg_copyq_occupancy." + idx,
+                    &r.avg_copyq_occupancy[c]) ||
+        !get_u64(fields, "steered_with_copy." + idx,
+                 &r.steered_with_copy[c]) ||
+        !get_u64(fields, "steered_local." + idx, &r.steered_local[c])) {
+      return corrupt();
+    }
+    for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
+      if (!get_u64(fields,
+                   "iq_occupancy_hist." + idx + "." + std::to_string(b),
+                   &r.iq_occupancy_hist[c][b])) {
+        return corrupt();
+      }
+    }
+  }
   *out = std::move(r);
   return CacheLookup::kHit;
 }
@@ -314,6 +336,18 @@ void ResultCache::store(const std::string& key,
   w.field("cycles", result.cycles);
   w.field("num_points", result.num_points);
   write_sim_stats(w, "last_interval.", result.last_interval);
+  w.field("num_clusters", std::uint64_t{result.num_clusters});
+  for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
+    const std::string idx = std::to_string(c);
+    w.field("avg_iq_occupancy." + idx, result.avg_iq_occupancy[c]);
+    w.field("avg_copyq_occupancy." + idx, result.avg_copyq_occupancy[c]);
+    w.field("steered_with_copy." + idx, result.steered_with_copy[c]);
+    w.field("steered_local." + idx, result.steered_local[c]);
+    for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
+      w.field("iq_occupancy_hist." + idx + "." + std::to_string(b),
+              result.iq_occupancy_hist[c][b]);
+    }
+  }
 
   const std::string path = path_for(key);
   // Temp name unique per (process, thread): shard *processes* share the

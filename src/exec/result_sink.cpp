@@ -20,7 +20,14 @@ void write_summary_json(std::ostream& os, const RunSummary& s) {
      << ",\"cache_hits\":" << s.cache_hits
      << ",\"skipped\":" << s.skipped
      << ",\"corrupt_recovered\":" << s.corrupt_recovered
-     << ",\"uops\":" << s.uops << "}";
+     << ",\"uops\":" << s.uops << "}"
+     << ",\"phases\":{\"trace_build_s\":" << num(s.phases.trace_build)
+     << ",\"annotate_s\":" << num(s.phases.annotate)
+     << ",\"warmup_s\":" << num(s.phases.warmup)
+     << ",\"simulate_s\":" << num(s.phases.simulate)
+     << ",\"cache_io_s\":" << num(s.phases.cache_io) << "}"
+     << ",\"events\":{\"experiments\":" << s.experiments
+     << ",\"cycles\":" << s.cycles << "}";
   if (s.launch_workers == 0) {
     os << ",\"launch\":null";
   } else {
@@ -103,7 +110,41 @@ void ResultSink::write_json(std::ostream& os) const {
        << ",\"link_contention_per_kuop\":" << num(r.link_contention_per_kuop)
        << ",\"avoided_contended_per_kuop\":" << num(r.avoided_contended_per_kuop)
        << ",\"committed_uops\":" << r.committed_uops
-       << ",\"cycles\":" << r.cycles << "}";
+       << ",\"cycles\":" << r.cycles;
+    // Observer-derived occupancy/steering provenance, trimmed to the
+    // machine's cluster count.
+    auto num_array = [&](const char* name, const auto& values) {
+      os << ",\"" << name << "\":[";
+      for (std::uint32_t c = 0; c < r.num_clusters; ++c) {
+        if (c) os << ',';
+        os << num(static_cast<double>(values[c]));
+      }
+      os << ']';
+    };
+    num_array("avg_iq_occupancy", r.avg_iq_occupancy);
+    num_array("avg_copyq_occupancy", r.avg_copyq_occupancy);
+    os << ",\"iq_occupancy_hist\":[";
+    for (std::uint32_t c = 0; c < r.num_clusters; ++c) {
+      if (c) os << ',';
+      os << '[';
+      for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
+        if (b) os << ',';
+        os << r.iq_occupancy_hist[c][b];
+      }
+      os << ']';
+    }
+    os << ']';
+    os << ",\"steered_with_copy\":[";
+    for (std::uint32_t c = 0; c < r.num_clusters; ++c) {
+      if (c) os << ',';
+      os << r.steered_with_copy[c];
+    }
+    os << "],\"steered_local\":[";
+    for (std::uint32_t c = 0; c < r.num_clusters; ++c) {
+      if (c) os << ',';
+      os << r.steered_local[c];
+    }
+    os << "]}";
   }
   os << "],\"tables\":[";
   for (std::size_t i = 0; i < tables_.size(); ++i) {

@@ -44,6 +44,12 @@ struct RunSummary {
   /// uop volume, which the perf gate divides by wall_seconds for kuops/s
   /// (scripts/perf_gate.py).
   std::uint64_t uops = 0;
+  /// Simulated cycles summed over this run's available points.
+  std::uint64_t cycles = 0;
+  /// TraceExperiments constructed across all sweeps of this run.
+  std::size_t experiments = 0;
+  /// Per-phase spans summed over all sweeps (see exec::PhaseSeconds).
+  PhaseSeconds phases;
   /// Shard-process orchestration (`--launch N`); workers == 0 means the
   /// bench ran single-process and the `launch` JSON field is null.
   unsigned launch_workers = 0;
@@ -53,7 +59,11 @@ struct RunSummary {
 
 /// One-line JSON document:
 ///   {"bench":...,"ok":...,"wall_seconds":...,
-///    "sweep":{"points","simulated","cache_hits","skipped","corrupt_recovered"},
+///    "sweep":{"points","simulated","cache_hits","skipped","corrupt_recovered",
+///             "uops"},
+///    "phases":{"trace_build_s","annotate_s","warmup_s","simulate_s",
+///              "cache_io_s"},
+///    "events":{"experiments","cycles"},
 ///    "launch":null | {"workers","max_retries","ok","failed_shards",
 ///                     "shards":[{"shard","attempts","ok","exit_code","signal"}]}}
 void write_summary_json(std::ostream& os, const RunSummary& summary);

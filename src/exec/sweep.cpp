@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
 
@@ -57,8 +58,15 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
   std::atomic<std::size_t> simulated{0};
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> cache_corrupt{0};
+  std::atomic<std::size_t> experiments{0};
   std::atomic<std::size_t> jobs_done{0};
   std::mutex progress_mutex;
+  std::mutex phases_mutex;
+  PhaseSeconds phases;
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
 
   // One job = all schemes of one (trace, machine) cell: the schemes share
   // the job's TraceExperiment (workload generation + trace replay dominate
@@ -69,6 +77,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     profile.seed_salt += opt.seed_salt;
     const MachineConfig& machine = grid.machines[m];
 
+    PhaseSeconds job_phases;
     std::vector<std::size_t> missing;
     std::vector<std::string> keys(grid.schemes.size());
     for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
@@ -76,7 +85,9 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
       if (cache) {
         keys[s] = cache_key(profile, machine, scheme.spec, grid.budget,
                             scheme.custom_tag);
+        const Clock::time_point t0 = Clock::now();
         const CacheLookup looked = cache->lookup(keys[s], &result.slot(t, m, s));
+        job_phases.cache_io += seconds_since(t0);
         if (looked == CacheLookup::kHit) {
           cache_hits.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -90,6 +101,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
 
     if (!missing.empty()) {
       harness::TraceExperiment experiment(profile, machine, grid.budget);
+      experiments.fetch_add(1, std::memory_order_relaxed);
       for (const std::size_t s : missing) {
         const SweepScheme& scheme = grid.schemes[s];
         harness::RunResult& out = result.slot(t, m, s);
@@ -101,8 +113,21 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
           out = experiment.run(scheme.spec);
         }
         simulated.fetch_add(1, std::memory_order_relaxed);
-        if (cache) cache->store(keys[s], out);
+        if (cache) {
+          const Clock::time_point t0 = Clock::now();
+          cache->store(keys[s], out);
+          job_phases.cache_io += seconds_since(t0);
+        }
       }
+      const harness::PhaseTimes& pt = experiment.phases();
+      job_phases.trace_build += pt.trace_build_s;
+      job_phases.annotate += pt.annotate_s;
+      job_phases.warmup += pt.warmup_s;
+      job_phases.simulate += pt.simulate_s;
+    }
+    {
+      std::lock_guard<std::mutex> lock(phases_mutex);
+      phases += job_phases;
     }
 
     const std::size_t done = jobs_done.fetch_add(1) + 1;
@@ -136,6 +161,8 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
   result.simulated = simulated.load();
   result.cache_hits = cache_hits.load();
   result.cache_corrupt = cache_corrupt.load();
+  result.experiments = experiments.load();
+  result.phases = phases;
   return result;
 }
 

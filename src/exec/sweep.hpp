@@ -76,6 +76,27 @@ struct SweepOptions {
   std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
+/// Wall-clock seconds a sweep spent per phase, summed over all jobs (so on
+/// a multi-worker run the spans can exceed the sweep's wall time). Surfaced
+/// through exec::RunSummary / --summary-json so perf tooling can attribute
+/// a regression to a phase instead of a single kuops/s scalar.
+struct PhaseSeconds {
+  double trace_build = 0;  ///< workload generation + PinPoints + replay.
+  double annotate = 0;     ///< software passes (OB/RHOP/VC).
+  double warmup = 0;       ///< functional cache warming.
+  double simulate = 0;     ///< the cycle loops.
+  double cache_io = 0;     ///< ResultCache lookups + stores.
+
+  PhaseSeconds& operator+=(const PhaseSeconds& o) {
+    trace_build += o.trace_build;
+    annotate += o.annotate;
+    warmup += o.warmup;
+    simulate += o.simulate;
+    cache_io += o.cache_io;
+    return *this;
+  }
+};
+
 class SweepResult {
  public:
   SweepResult(std::size_t traces, std::size_t machines, std::size_t schemes);
@@ -102,6 +123,11 @@ class SweepResult {
   /// a pre-fsync cache); each was deleted and the point re-simulated, so
   /// these also count in `simulated`.
   std::size_t cache_corrupt = 0;
+  /// TraceExperiments actually constructed (jobs with at least one cache
+  /// miss); 0 on a fully warm sweep.
+  std::size_t experiments = 0;
+  /// Per-phase wall-clock spans, summed over all jobs of this run.
+  PhaseSeconds phases;
 
  private:
   friend SweepResult run_sweep(const SweepGrid&, const SweepOptions&);

@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/check.hpp"
@@ -13,6 +14,25 @@
 #include "workload/trace.hpp"
 
 namespace vcsteer::harness {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Times workload generation from the member-init list so the span lands in
+// PhaseTimes::trace_build_s along with PinPoints selection and replay.
+workload::GeneratedWorkload timed_generate(
+    const workload::WorkloadProfile& profile, PhaseTimes& phases) {
+  const Clock::time_point t0 = Clock::now();
+  workload::GeneratedWorkload wl = workload::generate(profile);
+  phases.trace_build_s += seconds_since(t0);
+  return wl;
+}
+
+}  // namespace
 
 std::string SchemeSpec::label(const MachineConfig& machine) const {
   if (scheme != steer::Scheme::kVc) return steer::scheme_name(scheme);
@@ -119,7 +139,10 @@ std::unique_ptr<steer::SteeringPolicy> policy_for_scheme(
 TraceExperiment::TraceExperiment(const workload::WorkloadProfile& profile,
                                  const MachineConfig& machine,
                                  const SimBudget& budget)
-    : machine_(machine), budget_(budget), wl_(workload::generate(profile)) {
+    : machine_(machine),
+      budget_(budget),
+      wl_(timed_generate(profile, phases_)) {
+  const Clock::time_point t0 = Clock::now();
   workload::TraceSource trace(wl_);
   workload::PinPointsOptions popt;
   popt.total_uops = budget.total_uops;
@@ -141,12 +164,15 @@ TraceExperiment::TraceExperiment(const workload::WorkloadProfile& profile,
     warm_addrs_.push_back(std::move(warm));
     intervals_.push_back(trace.take(p.length));
   }
+  phases_.trace_build_s += seconds_since(t0);
 }
 
 TraceExperiment::~TraceExperiment() = default;  // ctx_ needs SimContext here
 
 RunResult TraceExperiment::run(const SchemeSpec& spec) {
+  const Clock::time_point t0 = Clock::now();
   annotate_for_scheme(wl_.program, spec, machine_);
+  phases_.annotate_s += seconds_since(t0);
   const auto policy = policy_for_scheme(spec, machine_);
   return run_annotated(*policy, spec.label(machine_));
 }
@@ -168,11 +194,16 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
   // point reuses the same core, reset in place per run.
   if (!ctx_) ctx_ = std::make_unique<sim::SimContext>(machine_, wl_.program);
   sim::ClusteredCore& core = ctx_->core();
+  result.num_clusters = machine_.num_clusters;
   double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
          w_policy = 0.0, w_hops = 0.0, w_contention = 0.0, w_avoided = 0.0;
+  std::array<double, sim::kMaxClusters> w_occ{};
+  std::array<double, sim::kMaxClusters> w_copyq_occ{};
+  sim::RunPhases run_phases;
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const double w = points_[i].weight;
-    const sim::SimStats stats = core.run(intervals_[i], policy, warm_addrs_[i]);
+    const sim::SimStats stats =
+        core.run(intervals_[i], policy, warm_addrs_[i], &run_phases);
     w_cycles += w * static_cast<double>(stats.cycles);
     w_uops += w * static_cast<double>(stats.committed_uops);
     w_copies += w * static_cast<double>(stats.copies_generated);
@@ -184,7 +215,20 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
     result.committed_uops += stats.committed_uops;
     result.cycles += stats.cycles;
     result.last_interval = stats;
+    // Harvest the run's observer sink before the next run() re-arms it.
+    const sim::StatsObserver& obs = core.observer();
+    for (std::uint32_t c = 0; c < machine_.num_clusters; ++c) {
+      w_occ[c] += w * static_cast<double>(stats.occupancy_sum[c]);
+      w_copyq_occ[c] += w * static_cast<double>(stats.copyq_occupancy_sum[c]);
+      for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
+        result.iq_occupancy_hist[c][b] += obs.hist(c)[b];
+      }
+      result.steered_with_copy[c] += obs.steered_with_copy(c);
+      result.steered_local[c] += obs.steered_local(c);
+    }
   }
+  phases_.warmup_s += run_phases.warmup_s;
+  phases_.simulate_s += run_phases.simulate_s;
   VCSTEER_CHECK(w_cycles > 0.0 && w_uops > 0.0);
   result.ipc = w_uops / w_cycles;
   result.copies_per_kuop = 1000.0 * w_copies / w_uops;
@@ -193,6 +237,10 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
   result.copy_hops_per_kuop = 1000.0 * w_hops / w_uops;
   result.link_contention_per_kuop = 1000.0 * w_contention / w_uops;
   result.avoided_contended_per_kuop = 1000.0 * w_avoided / w_uops;
+  for (std::uint32_t c = 0; c < machine_.num_clusters; ++c) {
+    result.avg_iq_occupancy[c] = w_occ[c] / w_cycles;
+    result.avg_copyq_occupancy[c] = w_copyq_occ[c] / w_cycles;
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 // trace replay once per trace.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -69,6 +70,42 @@ struct RunResult {
   std::uint64_t cycles = 0;          ///< total over simulated intervals.
   std::uint64_t num_points = 0;      ///< simulation points aggregated.
   sim::SimStats last_interval;       ///< stats of the final interval (diagnostics).
+
+  // Observer-derived occupancy/steering provenance (StatsObserver sink).
+  // Entries beyond num_clusters are zero; serialization trims to it.
+  std::uint32_t num_clusters = 0;
+  /// PinPoints-weighted mean issue-queue (INT+FP) / copy-queue occupancy
+  /// per cluster, in entries (= weighted occupancy_sum / weighted cycles).
+  std::array<double, sim::kMaxClusters> avg_iq_occupancy{};
+  std::array<double, sim::kMaxClusters> avg_copyq_occupancy{};
+  /// Per-cluster histogram of per-cycle IQ occupancy over all simulated
+  /// intervals (raw cycle counts; sim::kOccupancyBuckets equal slices of
+  /// the combined INT+FP capacity, last bucket includes exactly-full).
+  std::array<std::array<std::uint64_t, sim::kOccupancyBuckets>,
+             sim::kMaxClusters>
+      iq_occupancy_hist{};
+  /// Dispatches per destination cluster that generated at least one
+  /// inter-cluster copy vs. none (steer-decision provenance).
+  std::array<std::uint64_t, sim::kMaxClusters> steered_with_copy{};
+  std::array<std::uint64_t, sim::kMaxClusters> steered_local{};
+};
+
+/// Wall-clock spans of an experiment's work, by phase. Accumulated per
+/// TraceExperiment and summed across a sweep into exec::RunSummary — never
+/// part of RunResult, which is cached and must stay host-independent.
+struct PhaseTimes {
+  double trace_build_s = 0;  ///< workload generation + PinPoints + replay.
+  double annotate_s = 0;     ///< software passes (OB/RHOP/VC).
+  double warmup_s = 0;       ///< functional cache warming.
+  double simulate_s = 0;     ///< the cycle loops.
+
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    trace_build_s += o.trace_build_s;
+    annotate_s += o.annotate_s;
+    warmup_s += o.warmup_s;
+    simulate_s += o.simulate_s;
+    return *this;
+  }
 };
 
 class TraceExperiment {
@@ -90,6 +127,9 @@ class TraceExperiment {
   const workload::GeneratedWorkload& workload() const { return wl_; }
   const std::vector<workload::SimPoint>& simpoints() const { return points_; }
   const MachineConfig& machine() const { return machine_; }
+  /// Wall-clock spans accumulated over this experiment's lifetime
+  /// (construction + every run so far).
+  const PhaseTimes& phases() const { return phases_; }
 
  private:
   /// Weighted simulation of all points under an already-annotated program.
@@ -97,6 +137,7 @@ class TraceExperiment {
 
   MachineConfig machine_;
   SimBudget budget_;
+  PhaseTimes phases_;
   workload::GeneratedWorkload wl_;
   /// Reusable simulation arena (sim/sim_context.hpp): one core whose pools,
   /// value table and cache arrays persist across every run() of this

@@ -2,13 +2,19 @@
 // buffer), the unified load/store queue, store records for store-to-load
 // forwarding, and the completion-event drain that publishes produced values
 // to the clusters' register files.
+//
+// Templated on the run's Observer: on_commit fires per retired micro-op,
+// on_wakeup per published value (producer completions and copy arrivals
+// alike). With NullObserver both hook sites compile away.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "program/program.hpp"
 #include "sim/core_state.hpp"
+#include "sim/observer.hpp"
 
 namespace vcsteer::sim {
 
@@ -31,18 +37,82 @@ struct StoreRecord {
   bool addr_known = false;
 };
 
+template <Observer Obs>
 class CommitUnit {
  public:
-  explicit CommitUnit(CoreState& state);
+  CommitUnit(CoreState& state, Obs& obs) : state_(state), obs_(obs) {
+    rob_.resize(state_.config.rob_int_entries + state_.config.rob_fp_entries);
+  }
 
-  void reset();
+  void reset() {
+    rob_head_seq_ = 0;
+    next_seq_ = 0;
+    rob_int_used_ = rob_fp_used_ = 0;
+    lsq_used_ = 0;
+    store_records_.clear();
+  }
 
   /// Retire completed micro-ops at the ROB head, within the commit widths.
-  void commit();
+  void commit() {
+    std::uint32_t int_budget = state_.config.commit_width_int;
+    std::uint32_t fp_budget = state_.config.commit_width_fp;
+    while (rob_int_used_ + rob_fp_used_ > 0) {
+      RobEntry& head = rob_[rob_head_seq_ % rob_.size()];
+      if (!head.completed) break;
+      std::uint32_t& budget = head.fp_slot ? fp_budget : int_budget;
+      if (budget == 0) break;
+      --budget;
+      if (head.fp_slot) {
+        --rob_fp_used_;
+      } else {
+        --rob_int_used_;
+      }
+      if (head.is_store) {
+        VCSTEER_DCHECK(lsq_used_ > 0);
+        --lsq_used_;
+        // Stores commit in order; drop the matching (front) record.
+        if (!store_records_.empty() &&
+            store_records_.front().seq == rob_head_seq_) {
+          store_records_.erase(store_records_.begin());
+        }
+      }
+      if (head.prev_tag != kNoTag) state_.release_value(head.prev_tag);
+      ++state_.stats.committed_uops;
+      if constexpr (Obs::enabled) {
+        obs_.on_commit(
+            CommitEvent{head.uop, rob_head_seq_, head.cluster, state_.cycle});
+      }
+      ++rob_head_seq_;
+    }
+  }
 
   /// Drain completion events up to the current cycle: publish values,
   /// mark ROB entries complete, free cluster-inflight and LSQ slots.
-  void complete();
+  void complete() {
+    while (!state_.completions.empty() &&
+           state_.completions.top().cycle <= state_.cycle) {
+      const Completion done = state_.completions.top();
+      state_.completions.pop();
+      if (done.tag != kNoTag) {
+        state_.publish(done.tag, done.cluster, done.cycle);
+        if constexpr (Obs::enabled) {
+          obs_.on_wakeup(WakeupEvent{done.tag, done.cluster, state_.cycle,
+                                     done.is_copy_arrival});
+        }
+      }
+      if (done.is_copy_arrival) continue;
+      RobEntry& entry = rob_[done.seq % rob_.size()];
+      VCSTEER_DCHECK(!entry.completed);
+      entry.completed = true;
+      ClusterState& cl = state_.clusters[entry.cluster];
+      VCSTEER_DCHECK(cl.inflight > 0);
+      --cl.inflight;
+      if (entry.is_load) {
+        VCSTEER_DCHECK(lsq_used_ > 0);
+        --lsq_used_;  // loads leave the LSQ once the cache answered
+      }
+    }
+  }
 
   // ----- dispatch-side interface (SteerStage) -----
   bool rob_full(bool fp_slot) const {
@@ -55,7 +125,18 @@ class CommitUnit {
   std::uint64_t next_seq() const { return next_seq_; }
   /// Allocates the ROB entry (and LSQ slot / store record for memory ops)
   /// for `entry`; returns its seq. Caller has already checked capacity.
-  std::uint64_t allocate(const RobEntry& entry, bool is_mem);
+  std::uint64_t allocate(const RobEntry& entry, bool is_mem) {
+    const std::uint64_t seq = next_seq_++;
+    rob_[seq % rob_.size()] = entry;
+    (entry.fp_slot ? rob_fp_used_ : rob_int_used_) += 1;
+    if (is_mem) {
+      ++lsq_used_;
+      if (entry.is_store) {
+        store_records_.push_back(StoreRecord{seq, /*addr=*/0, false});
+      }
+    }
+    return seq;
+  }
 
   // ----- issue-side interface (ClusterBackend) -----
   std::vector<StoreRecord>& store_records() { return store_records_; }
@@ -65,6 +146,7 @@ class CommitUnit {
 
  private:
   CoreState& state_;
+  Obs& obs_;
 
   // ROB: ring buffer with `rob_head_seq_` tracking the seq of the head.
   std::vector<RobEntry> rob_;

@@ -17,12 +17,23 @@
 // The simulator is trace-driven like the paper's: branch outcomes come from
 // the trace, so there is no wrong-path execution; this applies identically
 // to every steering scheme under comparison.
+//
+// ClusteredCoreT is templated on an Observer (sim/observer.hpp) that it
+// owns by value and drives at every architectural event. The core and its
+// stages guard every hook with `if constexpr (Obs::enabled)`, so
+// ClusteredCoreT<NullObserver> compiles to the bare simulator with zero
+// observation overhead. The `ClusteredCore` alias used throughout the
+// harness carries StatsObserver, which owns the per-cluster occupancy
+// accumulation (SimStats::occupancy_sum / copyq_occupancy_sum) plus the
+// occupancy histograms and steer provenance that RunResult surfaces.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/config.hpp"
 #include "mem/hierarchy.hpp"
 #include "program/program.hpp"
@@ -31,6 +42,7 @@
 #include "sim/copy_network.hpp"
 #include "sim/core_state.hpp"
 #include "sim/frontend.hpp"
+#include "sim/observer.hpp"
 #include "sim/stats.hpp"
 #include "sim/steer_stage.hpp"
 #include "steer/policy.hpp"
@@ -38,48 +50,164 @@
 
 namespace vcsteer::sim {
 
-class ClusteredCore : public steer::SteerView {
+/// Wall-clock spans of one run(), filled only when the caller asks for them
+/// (a null pointer skips the clock reads entirely). Timing never enters
+/// SimStats — those are cached and bit-identical across hosts.
+struct RunPhases {
+  double warmup_s = 0;    ///< functional cache warming before cycle 0.
+  double simulate_s = 0;  ///< the cycle loop itself.
+};
+
+template <Observer Obs = StatsObserver>
+class ClusteredCoreT : public steer::SteerView {
  public:
-  ClusteredCore(const MachineConfig& config, const prog::Program& program);
+  ClusteredCoreT(const MachineConfig& config, const prog::Program& program)
+      : config_(config),
+        program_(program),
+        memory_(config),
+        state_(config_, program_),
+        frontend_(config_),
+        commit_(state_, obs_),
+        copies_(state_, obs_),
+        steer_(state_, frontend_, commit_, copies_, obs_) {
+    VCSTEER_CHECK_MSG(config_.validate().empty(), config_.validate().c_str());
+    VCSTEER_CHECK(config_.num_clusters <= kMaxClusters);
+    backends_.reserve(config_.num_clusters);
+    for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
+      backends_.emplace_back(state_, commit_, memory_, c, obs_);
+    }
+    reset();
+  }
 
   /// Run one trace segment to completion under `policy`; returns the stats.
   /// The core is fully reset between runs. `warm_addrs` (addresses of the
   /// memory operations preceding the segment in the full trace) functionally
   /// warm the cache hierarchy first, as the SimPoint methodology requires.
+  /// `phases`, when non-null, receives the wall-clock warmup/simulate spans.
   SimStats run(std::span<const workload::TraceEntry> trace,
                steer::SteeringPolicy& policy,
-               std::span<const std::uint64_t> warm_addrs = {});
+               std::span<const std::uint64_t> warm_addrs = {},
+               RunPhases* phases = nullptr) {
+    using Clock = std::chrono::steady_clock;
+    reset();
+    policy.reset();
+    Clock::time_point t0;
+    if (phases != nullptr) t0 = Clock::now();
+    for (const std::uint64_t addr : warm_addrs) memory_.warm(addr);
+    Clock::time_point t1;
+    if (phases != nullptr) {
+      t1 = Clock::now();
+      phases->warmup_s += std::chrono::duration<double>(t1 - t0).count();
+    }
+    if constexpr (Obs::enabled) obs_.on_run_begin(state_);
+    while (!frontend_.drained(trace) || !commit_.empty()) {
+      if constexpr (Obs::enabled) obs_.on_cycle_begin(state_.cycle);
+      commit_.commit();
+      commit_.complete();
+      for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
+        backends_[c].issue();
+        copies_.issue(c);
+      }
+      steer_.dispatch(policy, *this);
+      frontend_.fetch(trace, state_.cycle, obs_);
+      // Occupancy bookkeeping for balance and copy-network diagnostics now
+      // lives in StatsObserver::on_cycle_end (same point of the cycle, same
+      // counters — bit-identical to the previously inlined loop).
+      if constexpr (Obs::enabled) obs_.on_cycle_end(state_);
+      ++state_.cycle;
+      VCSTEER_CHECK_MSG(state_.cycle < kCycleLimit, "simulator wedged");
+    }
+    state_.stats.cycles = state_.cycle;
+    state_.stats.memory = memory_.stats();
+    state_.stats.avoided_contended_links = policy.avoided_contended_links();
+    copies_.flush_stats();
+    if constexpr (Obs::enabled) obs_.on_run_end(state_);
+    if (phases != nullptr) {
+      phases->simulate_s +=
+          std::chrono::duration<double>(Clock::now() - t1).count();
+    }
+    return state_.stats;
+  }
 
   // --- SteerView (what the steering unit can inspect) ---
   std::uint32_t num_clusters() const override { return config_.num_clusters; }
   std::uint32_t iq_occupancy(std::uint32_t cluster,
-                             isa::OpClass op) const override;
-  std::uint32_t iq_capacity(isa::OpClass op) const override;
-  std::uint32_t inflight(std::uint32_t cluster) const override;
-  int value_home(isa::ArchReg reg) const override;
-  int value_home_stale(isa::ArchReg reg) const override;
-  bool value_in_cluster(isa::ArchReg reg, std::uint32_t cluster) const override;
-  bool value_in_flight(isa::ArchReg reg) const override;
+                             isa::OpClass op) const override {
+    VCSTEER_DCHECK(cluster < state_.clusters.size());
+    const ClusterState& c = state_.clusters[cluster];
+    if (op == isa::OpClass::kCopy) return c.copy_used;
+    return isa::uses_fp_queue(op) ? c.fp_used : c.int_used;
+  }
+  std::uint32_t iq_capacity(isa::OpClass op) const override {
+    return state_.iq_capacity(op);
+  }
+  std::uint32_t inflight(std::uint32_t cluster) const override {
+    VCSTEER_DCHECK(cluster < state_.clusters.size());
+    return state_.clusters[cluster].inflight;
+  }
+  int value_home(isa::ArchReg reg) const override {
+    const Tag tag = state_.rename[isa::flat_reg(reg)];
+    if (tag == kNoTag) return steer::kNoHome;
+    return state_.values[tag].home;
+  }
+  int value_home_stale(isa::ArchReg reg) const override {
+    return state_.stale_home[isa::flat_reg(reg)];
+  }
+  bool value_in_cluster(isa::ArchReg reg,
+                        std::uint32_t cluster) const override {
+    const Tag tag = state_.rename[isa::flat_reg(reg)];
+    if (tag == kNoTag) return true;  // architected cold value: no copy needed
+    const Value& v = state_.values[tag];
+    return v.home == cluster ||
+           ((v.avail_mask | v.copy_mask) & cluster_bit(cluster));
+  }
+  bool value_in_flight(isa::ArchReg reg) const override {
+    const Tag tag = state_.rename[isa::flat_reg(reg)];
+    if (tag == kNoTag) return false;
+    return state_.values[tag].avail_mask == 0;  // producer not completed yet
+  }
   std::uint32_t copy_distance(std::uint32_t from,
-                              std::uint32_t to) const override;
-  double link_congestion(std::uint32_t from, std::uint32_t to) const override;
+                              std::uint32_t to) const override {
+    return copies_.interconnect().distance(from, to);
+  }
+  double link_congestion(std::uint32_t from, std::uint32_t to) const override {
+    return copies_.interconnect().congestion(from, to);
+  }
 
   const MachineConfig& config() const { return config_; }
   const Interconnect& interconnect() const { return copies_.interconnect(); }
+  /// The run's observer sink (histograms, timelines, counts — whatever the
+  /// instantiated Obs records). Harvest between run() calls: run() re-arms
+  /// it through on_run_begin.
+  Obs& observer() { return obs_; }
+  const Obs& observer() const { return obs_; }
 
  private:
-  void reset();
+  static constexpr std::uint64_t kCycleLimit = 1ULL << 40;  // hang detector
+
+  void reset() {
+    memory_.reset();
+    state_.reset();
+    frontend_.reset();
+    commit_.reset();
+    copies_.reset();
+  }
 
   MachineConfig config_;
   const prog::Program& program_;
   mem::MemoryHierarchy memory_;
 
+  Obs obs_;  // before the stages: they capture Obs& at construction
   CoreState state_;
   FrontEnd frontend_;
-  CommitUnit commit_;
-  CopyNetwork copies_;
-  SteerStage steer_;
-  std::vector<ClusterBackend> backends_;
+  CommitUnit<Obs> commit_;
+  CopyNetwork<Obs> copies_;
+  SteerStage<Obs> steer_;
+  std::vector<ClusterBackend<Obs>> backends_;
 };
+
+/// The harness default: occupancy accumulation + steer provenance recorded
+/// through the observer layer, bit-identical to the pre-observer simulator.
+using ClusteredCore = ClusteredCoreT<StatsObserver>;
 
 }  // namespace vcsteer::sim

@@ -9,6 +9,7 @@
 
 #include "common/config.hpp"
 #include "common/fixed_queue.hpp"
+#include "sim/observer.hpp"
 #include "workload/trace.hpp"
 
 namespace vcsteer::sim {
@@ -25,13 +26,22 @@ class FrontEnd {
   }
 
   /// Fetch up to fetch_width trace entries into the pipe.
-  void fetch(std::span<const workload::TraceEntry> trace, std::uint64_t cycle) {
+  template <Observer Obs>
+  void fetch(std::span<const workload::TraceEntry> trace, std::uint64_t cycle,
+             Obs& obs) {
     for (std::uint32_t k = 0;
          k < config_.fetch_width && trace_pos_ < trace.size(); ++k) {
       if (queue_.full()) break;
+      if constexpr (Obs::enabled) {
+        obs.on_fetch(FetchEvent{trace[trace_pos_].uop, cycle});
+      }
       queue_.push(Entry{trace[trace_pos_], cycle + config_.fetch_to_dispatch});
       ++trace_pos_;
     }
+  }
+  void fetch(std::span<const workload::TraceEntry> trace, std::uint64_t cycle) {
+    NullObserver null;
+    fetch(trace, cycle, null);
   }
 
   /// True once the whole trace has been fetched and the pipe has drained.

@@ -18,6 +18,12 @@ namespace vcsteer::sim {
 
 constexpr std::uint32_t kMaxClusters = 8;
 
+/// Buckets of the per-cluster issue-queue occupancy histograms recorded by
+/// the StatsObserver sink (equal slices of the combined INT+FP capacity;
+/// the last bucket includes exactly-full). Lives here rather than in
+/// observer.hpp so RunResult consumers need not pull in the observer layer.
+constexpr std::uint32_t kOccupancyBuckets = 8;
+
 struct SimStats {
   std::uint64_t cycles = 0;
   std::uint64_t committed_uops = 0;   ///< program micro-ops (copies excluded).

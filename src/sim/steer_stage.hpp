@@ -7,31 +7,241 @@
 // micro-ops) before mutating any state, then commits the dispatch: rename,
 // copy requests into the copy network, issue-queue insert, ROB/LSQ
 // allocation.
+//
+// Templated on the run's Observer: every stall return fires on_stall with
+// its reason (mirroring the SimStats stall counters one-to-one) and every
+// committed dispatch fires on_steer with the per-cluster scores the policy
+// computed. With NullObserver all hook sites compile away.
 #pragma once
 
+#include <algorithm>
+#include <array>
+
+#include "common/check.hpp"
 #include "sim/commit.hpp"
 #include "sim/copy_network.hpp"
 #include "sim/core_state.hpp"
 #include "sim/frontend.hpp"
+#include "sim/observer.hpp"
 #include "steer/policy.hpp"
 
 namespace vcsteer::sim {
 
+template <Observer Obs>
 class SteerStage {
  public:
-  SteerStage(CoreState& state, FrontEnd& frontend, CommitUnit& commit,
-             CopyNetwork& copies)
-      : state_(state), frontend_(frontend), commit_(commit), copies_(copies) {}
+  SteerStage(CoreState& state, FrontEnd& frontend, CommitUnit<Obs>& commit,
+             CopyNetwork<Obs>& copies, Obs& obs)
+      : state_(state),
+        frontend_(frontend),
+        commit_(commit),
+        copies_(copies),
+        obs_(obs) {}
 
   /// One cycle of dispatch. `view` is the SteerView handed to the policy
   /// (the composed core, so policies see the whole machine).
-  void dispatch(steer::SteeringPolicy& policy, const steer::SteerView& view);
+  void dispatch(steer::SteeringPolicy& policy, const steer::SteerView& view) {
+    // Bring the cycle-start rename view (parallel-steering ablation) up to
+    // date by replaying last cycle's rename deltas.
+    state_.refresh_stale_view();
+    policy.begin_cycle(view);
+
+    const MachineConfig& config = state_.config;
+    std::uint32_t int_budget = config.decode_width_int;
+    std::uint32_t fp_budget = config.decode_width_fp;
+
+    while (int_budget + fp_budget > 0) {
+      if (!frontend_.has_ready(state_.cycle)) {
+        ++state_.stats.frontend_empty;
+        stall(StallReason::kFrontendEmpty);
+        return;
+      }
+      const workload::TraceEntry entry = frontend_.front();
+      const isa::MicroOp& uop = state_.program.uop(entry.uop);
+      const bool fp = isa::uses_fp_queue(uop.op);
+      std::uint32_t& budget = fp ? fp_budget : int_budget;
+      if (budget == 0) return;  // in-order: cannot dispatch around the head
+
+      // ROB slot of the right kind.
+      if (commit_.rob_full(fp)) {
+        ++state_.stats.rob_stalls;
+        stall(StallReason::kRob);
+        return;
+      }
+      if (uop.is_mem() && commit_.lsq_full()) {
+        ++state_.stats.lsq_stalls;
+        stall(StallReason::kLsq);
+        return;
+      }
+
+      const steer::SteerDecision decision = policy.choose(uop, view);
+      if (decision.is_stall()) {
+        ++state_.stats.policy_stalls;
+        stall(StallReason::kPolicy);
+        return;
+      }
+      const auto c = static_cast<std::uint32_t>(decision.cluster);
+      VCSTEER_CHECK_MSG(c < config.num_clusters,
+                        "policy returned an invalid cluster");
+      ClusterState& cl = state_.clusters[c];
+
+      // Issue-queue slot in the chosen cluster — the paper's workload-balance
+      // metric counts exactly these allocation stalls.
+      if (state_.used_for(cl, uop.op) >= state_.iq_capacity(uop.op)) {
+        ++state_.stats.alloc_stalls;
+        stall(StallReason::kAllocFull);
+        return;
+      }
+      // Inter-cluster copies for remote sources. All resource checks must
+      // pass before any state is mutated, so gather the needs first and check
+      // them *cumulatively* (two copies may share a producer's copy queue, and
+      // copy replicas compete with the destination for target registers).
+      const bool dst_fp = uop.has_dst && uop.dst.file == isa::RegFile::kFp;
+      Tag copy_needed[2] = {kNoTag, kNoTag};
+      std::uint8_t num_copies = 0;
+      for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
+        const Tag tag = state_.rename[isa::flat_reg(uop.srcs[s])];
+        if (tag == kNoTag) continue;
+        const Value& v = state_.values[tag];
+        if (v.home == c || ((v.avail_mask | v.copy_mask) & cluster_bit(c))) {
+          continue;
+        }
+        if (num_copies == 1 && copy_needed[0] == tag) continue;
+        copy_needed[num_copies++] = tag;
+      }
+      std::uint32_t reg_need_int = 0;
+      std::uint32_t reg_need_fp = 0;
+      if (uop.has_dst) ++(dst_fp ? reg_need_fp : reg_need_int);
+      std::array<std::uint32_t, kMaxClusters> copyq_need{};
+      for (std::uint8_t k = 0; k < num_copies; ++k) {
+        const Value& v = state_.values[copy_needed[k]];
+        ++copyq_need[v.home];
+        ++(v.fp ? reg_need_fp : reg_need_int);
+      }
+      if (cl.regs_used_int + reg_need_int > config.regfile_int ||
+          cl.regs_used_fp + reg_need_fp > config.regfile_fp) {
+        ++state_.stats.regfile_stalls;
+        stall(StallReason::kRegfile);
+        return;
+      }
+      bool copies_ok = true;
+      for (std::uint32_t p = 0; p < config.num_clusters && copies_ok; ++p) {
+        if (state_.clusters[p].copy_used + copyq_need[p] >
+            config.iq_copy_entries) {
+          copies_ok = false;
+        }
+      }
+      if (!copies_ok) {
+        ++state_.stats.copyq_stalls;
+        stall(StallReason::kCopyQueue);
+        return;
+      }
+      // Copy micro-ops are generated at this stage and consume decode/rename
+      // bandwidth like any other micro-op (each copy takes one slot of its
+      // value's kind). This is the first-order cost of communication-heavy
+      // steering: a scheme generating 10% copies loses 10% of its front-end.
+      std::uint32_t copy_slots_int = 0;
+      std::uint32_t copy_slots_fp = 0;
+      for (std::uint8_t k = 0; k < num_copies; ++k) {
+        ++(state_.values[copy_needed[k]].fp ? copy_slots_fp : copy_slots_int);
+      }
+      {
+        std::uint32_t need_int = copy_slots_int + (fp ? 0 : 1);
+        std::uint32_t need_fp = copy_slots_fp + (fp ? 1 : 0);
+        if (need_int > int_budget || need_fp > fp_budget) {
+          ++state_.stats.copy_bandwidth_stalls;
+          stall(StallReason::kCopyBandwidth);
+          return;
+        }
+        int_budget -= copy_slots_int;  // the uop's own slot is taken below
+        fp_budget -= copy_slots_fp;
+      }
+
+      // ---- commit the dispatch ----
+      const std::uint64_t seq = commit_.next_seq();
+      for (std::uint8_t k = 0; k < num_copies; ++k) {
+        const std::uint32_t hops =
+            view.copy_distance(state_.values[copy_needed[k]].home, c);
+        ++state_.stats.remote_steers_by_hops[std::min(hops, kMaxClusters - 1)];
+        const bool ok = copies_.request_copy(copy_needed[k], c, seq);
+        VCSTEER_CHECK(ok);
+      }
+
+      IqEntry iq;
+      iq.uop = entry.uop;
+      iq.seq = seq;
+      iq.num_srcs = uop.num_srcs;
+      for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
+        iq.src_tags[s] = state_.rename[isa::flat_reg(uop.srcs[s])];
+      }
+      iq.addr = entry.addr;
+
+      RobEntry rob;
+      rob.uop = entry.uop;
+      rob.cluster = static_cast<std::uint8_t>(c);
+      rob.fp_slot = fp;
+      rob.is_store = uop.is_store();
+      rob.is_load = uop.is_load();
+      if (uop.has_dst) {
+        const std::uint16_t flat = isa::flat_reg(uop.dst);
+        rob.prev_tag = state_.rename[flat];
+        const Tag tag =
+            state_.alloc_value(static_cast<std::uint8_t>(c), dst_fp);
+        state_.rename[flat] = tag;
+        state_.note_renamed(flat);
+        rob.dst_tag = tag;
+        iq.dst_tag = tag;
+        (dst_fp ? cl.regs_used_fp : cl.regs_used_int) += 1;
+      }
+
+      // Pool insert + wakeup registration: one waiter per distinct source not
+      // yet available here (home completion or the just-requested copy's
+      // arrival publishes it); an entry with no pending sources goes straight
+      // onto the ready list and can issue next cycle.
+      SlotPool<IqEntry>& queue = state_.queue_for(cl, uop.op);
+      const std::uint32_t slot = queue.alloc();
+      const WaiterKind kind = fp ? WaiterKind::kIqFp : WaiterKind::kIqInt;
+      IqEntry& inserted = queue[slot];
+      inserted = iq;
+      for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
+        const Tag tag = inserted.src_tags[s];
+        if (tag == kNoTag) continue;
+        if (s == 1 && tag == inserted.src_tags[0]) continue;  // dual read
+        if ((state_.values[tag].avail_mask & cluster_bit(c)) != 0) continue;
+        state_.add_waiter(tag, static_cast<std::uint8_t>(c), kind, slot);
+        ++inserted.waiting_srcs;
+      }
+      if (inserted.waiting_srcs == 0) queue.ready_insert(slot);
+      ++state_.used_for(cl, uop.op);
+
+      const std::uint64_t allocated = commit_.allocate(rob, uop.is_mem());
+      VCSTEER_DCHECK(allocated == seq);
+      (void)allocated;
+      ++cl.inflight;
+      ++state_.stats.dispatched_uops;
+      ++state_.stats.dispatched_to[c];
+      frontend_.pop();
+      --budget;
+      policy.on_dispatched(uop, c);
+      if constexpr (Obs::enabled) {
+        obs_.on_steer(SteerEvent{entry.uop, seq, c, num_copies, state_.cycle,
+                                 policy.last_scores()});
+      }
+    }
+  }
 
  private:
+  void stall(StallReason reason) {
+    if constexpr (Obs::enabled) {
+      obs_.on_stall(StallEvent{reason, state_.cycle});
+    }
+  }
+
   CoreState& state_;
   FrontEnd& frontend_;
-  CommitUnit& commit_;
-  CopyNetwork& copies_;
+  CommitUnit<Obs>& commit_;
+  CopyNetwork<Obs>& copies_;
+  Obs& obs_;
 };
 
 }  // namespace vcsteer::sim

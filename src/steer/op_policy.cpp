@@ -41,6 +41,9 @@ std::uint32_t OpPolicy::flat_preferred(const isa::MicroOp& uop,
     }
   }
 
+  num_scores_ = n;
+  for (std::uint32_t c = 0; c < n; ++c) scores_[c] = votes[c];
+
   if (total_votes == 0) {
     std::uint32_t best = 0;
     std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
@@ -115,6 +118,10 @@ std::uint32_t OpPolicy::aware_preferred(const isa::MicroOp& uop,
   // from a worse path? Counted only if the micro-op actually dispatches
   // there (on_dispatched), so stalled retries cannot inflate it.
   const std::uint32_t flat = flat_preferred(uop, view);
+  // flat_preferred overwrote the provenance with its votes; the decision
+  // was made on costs, so those are what last_scores() reports.
+  num_scores_ = n;
+  for (std::uint32_t c = 0; c < n; ++c) scores_[c] = cost[c];
   pending_avoided_cluster_ =
       (flat != preferred && cost[flat] > cost[preferred])
           ? static_cast<int>(preferred)

@@ -23,6 +23,8 @@
 // is exactly the degradation the paper's §2.1 example illustrates.
 #pragma once
 
+#include <array>
+
 #include "steer/policy.hpp"
 
 namespace vcsteer::steer {
@@ -40,6 +42,13 @@ class OpPolicy : public SteeringPolicy {
   /// farther/more-contended cluster (SimStats::avoided_contended_links).
   std::uint64_t avoided_contended_links() const override {
     return avoided_contended_;
+  }
+
+  /// Per-cluster scores of the last choose(): votes (flat) or estimated
+  /// communication cost (topology-aware). Steer-decision provenance for
+  /// the observer layer.
+  std::span<const double> last_scores() const override {
+    return {scores_.data(), num_scores_};
   }
 
  protected:
@@ -65,6 +74,11 @@ class OpPolicy : public SteeringPolicy {
 
   std::uint64_t avoided_contended_ = 0;
   int pending_avoided_cluster_ = -1;
+  // Provenance for last_scores(); written by choose() via flat_preferred /
+  // aware_preferred (mutable: the flat path is logically const).
+  static constexpr std::uint32_t kScoreClusters = 16;
+  mutable std::array<double, kScoreClusters> scores_{};
+  mutable std::uint32_t num_scores_ = 0;
 };
 
 class ParallelOpPolicy : public OpPolicy {

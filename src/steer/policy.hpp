@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/config.hpp"
@@ -122,6 +123,14 @@ class SteeringPolicy {
   /// result can fail to dispatch when downstream resources are full).
   virtual void on_dispatched(const isa::MicroOp& /*uop*/,
                              std::uint32_t /*cluster*/) {}
+
+  /// Per-cluster scores behind the most recent choose() decision, indexed
+  /// by cluster, for observability (SteerEvent::scores — see
+  /// sim/observer.hpp). Meaning is policy-defined (OP-family: votes on flat
+  /// fabrics, higher is better; estimated communication cost with
+  /// topology-aware steering, lower is better). Empty for policies that
+  /// compute no per-cluster score (static followers, the VC mapper).
+  virtual std::span<const double> last_scores() const { return {}; }
 
   /// Dispatched decisions where a topology-aware policy diverged from the
   /// choice its flat (topology-blind) scoring would have made, to dodge a

@@ -71,6 +71,12 @@ void expect_results_equal(const harness::RunResult& a,
   EXPECT_EQ(a.committed_uops, b.committed_uops);
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.num_points, b.num_points);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.avg_iq_occupancy, b.avg_iq_occupancy);
+  EXPECT_EQ(a.avg_copyq_occupancy, b.avg_copyq_occupancy);
+  EXPECT_EQ(a.iq_occupancy_hist, b.iq_occupancy_hist);
+  EXPECT_EQ(a.steered_with_copy, b.steered_with_copy);
+  EXPECT_EQ(a.steered_local, b.steered_local);
   expect_stats_equal(a.last_interval, b.last_interval);
 }
 
@@ -217,6 +223,12 @@ TEST(ResultCache, RoundTripsExactly) {
   r.committed_uops = 123456789;
   r.cycles = 987654321;
   r.num_points = 3;
+  r.num_clusters = 4;
+  r.avg_iq_occupancy[0] = 2.0 / 3.0;
+  r.avg_copyq_occupancy[3] = 1e-9;
+  r.iq_occupancy_hist[1][7] = 4242;
+  r.steered_with_copy[2] = 17;
+  r.steered_local[0] = 99;
   r.last_interval.cycles = 42;
   r.last_interval.memory.l2_misses = 7;
   r.last_interval.dispatched_to[3] = 11;

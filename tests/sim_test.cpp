@@ -4,6 +4,7 @@
 // paper's §2.1 sequential-vs-parallel steering example.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -382,6 +383,218 @@ TEST(Section21, ParallelSteeringGeneratesTwoExtraCopies) {
   const SimStats seq = run_section21(/*parallel=*/false);
   const SimStats par = run_section21(/*parallel=*/true);
   EXPECT_EQ(par.copies_generated, seq.copies_generated + 2);
+}
+
+// ----- observer layer (sim/observer.hpp) -----
+
+/// A cross-cluster bench with copies, stalls and both queues in play, so
+/// every observer hook fires.
+TestBench observer_bench() {
+  return TestBench({alu(r(1), {r(0)}, 0), alu(r(2), {r(1)}, 1),
+                    load(r(3), r(2), 0), alu(r(4), {r(3), r(1)}, 1)},
+                   60);
+}
+
+template <Observer Obs>
+SimStats run_observed(TestBench& bench, ClusteredCoreT<Obs>& core) {
+  steer::StaticFollowerPolicy policy("test");
+  return core.run(bench.trace, policy);
+}
+
+/// The timing-visible SimStats fields must be identical whichever observer
+/// is attached: observers record, they never steer the simulation.
+void expect_same_bits(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.committed_uops, b.committed_uops);
+  EXPECT_EQ(a.dispatched_uops, b.dispatched_uops);
+  EXPECT_EQ(a.copies_generated, b.copies_generated);
+  EXPECT_EQ(a.copies_routed, b.copies_routed);
+  EXPECT_EQ(a.copy_hops, b.copy_hops);
+  EXPECT_EQ(a.alloc_stalls, b.alloc_stalls);
+  EXPECT_EQ(a.policy_stalls, b.policy_stalls);
+  EXPECT_EQ(a.rob_stalls, b.rob_stalls);
+  EXPECT_EQ(a.lsq_stalls, b.lsq_stalls);
+  EXPECT_EQ(a.frontend_empty, b.frontend_empty);
+  EXPECT_EQ(a.dispatched_to, b.dispatched_to);
+  EXPECT_EQ(a.memory.l1_hits, b.memory.l1_hits);
+}
+
+TEST(Observer, NullAndStatsAndCountingProduceIdenticalTiming) {
+  TestBench bench = observer_bench();
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<NullObserver> null_core(cfg, *bench.program);
+  ClusteredCoreT<StatsObserver> stats_core(cfg, *bench.program);
+  ClusteredCoreT<CountingObserver> counting_core(cfg, *bench.program);
+  ClusteredCoreT<TimelineObserver> timeline_core(cfg, *bench.program);
+  const SimStats null_stats = run_observed(bench, null_core);
+  const SimStats stats_stats = run_observed(bench, stats_core);
+  const SimStats counting_stats = run_observed(bench, counting_core);
+  const SimStats timeline_stats = run_observed(bench, timeline_core);
+  expect_same_bits(null_stats, stats_stats);
+  expect_same_bits(null_stats, counting_stats);
+  expect_same_bits(null_stats, timeline_stats);
+}
+
+TEST(Observer, OccupancyAccountingLivesInStatsObserver) {
+  TestBench bench = observer_bench();
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<NullObserver> null_core(cfg, *bench.program);
+  ClusteredCoreT<StatsObserver> stats_core(cfg, *bench.program);
+  const SimStats null_stats = run_observed(bench, null_core);
+  const SimStats stats_stats = run_observed(bench, stats_core);
+  // The accumulation moved out of the core loop: without an enabled
+  // observer it simply does not happen.
+  for (std::uint32_t c = 0; c < cfg.num_clusters; ++c) {
+    EXPECT_EQ(null_stats.occupancy_sum[c], 0u);
+  }
+  EXPECT_GT(stats_stats.occupancy_sum[0] + stats_stats.occupancy_sum[1], 0u);
+  // Histogram buckets partition the run's cycles, per cluster.
+  const StatsObserver& obs = stats_core.observer();
+  for (std::uint32_t c = 0; c < cfg.num_clusters; ++c) {
+    std::uint64_t bucket_sum = 0;
+    for (std::uint32_t b = 0; b < kOccupancyBuckets; ++b) {
+      bucket_sum += obs.hist(c)[b];
+    }
+    EXPECT_EQ(bucket_sum, stats_stats.cycles);
+  }
+  // Steer provenance partitions the dispatched micro-ops.
+  std::uint64_t steered = 0;
+  for (std::uint32_t c = 0; c < cfg.num_clusters; ++c) {
+    steered += obs.steered_with_copy(c) + obs.steered_local(c);
+  }
+  EXPECT_EQ(steered, stats_stats.dispatched_uops);
+}
+
+TEST(Observer, CountingObserverReconcilesWithSimStats) {
+  TestBench bench = observer_bench();
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<CountingObserver> core(cfg, *bench.program);
+  const SimStats stats = run_observed(bench, core);
+  const CountingObserver& c = core.observer();
+  EXPECT_EQ(c.cycles, stats.cycles);
+  EXPECT_EQ(c.steers, stats.dispatched_uops);
+  EXPECT_EQ(c.commits, stats.committed_uops);
+  EXPECT_EQ(c.issues, stats.dispatched_uops);  // every dispatch issues once
+  EXPECT_EQ(c.fetches, bench.trace.size());
+  EXPECT_EQ(c.copy_requests, stats.copies_generated);
+  EXPECT_EQ(c.copy_injects, stats.copies_routed);
+  using R = StallReason;
+  auto by = [&](R reason) {
+    return c.stalls_by_reason[static_cast<std::uint32_t>(reason)];
+  };
+  EXPECT_EQ(by(R::kFrontendEmpty), stats.frontend_empty);
+  EXPECT_EQ(by(R::kRob), stats.rob_stalls);
+  EXPECT_EQ(by(R::kLsq), stats.lsq_stalls);
+  EXPECT_EQ(by(R::kPolicy), stats.policy_stalls);
+  EXPECT_EQ(by(R::kAllocFull), stats.alloc_stalls);
+  EXPECT_EQ(by(R::kRegfile), stats.regfile_stalls);
+  EXPECT_EQ(by(R::kCopyQueue), stats.copyq_stalls);
+  EXPECT_EQ(by(R::kCopyBandwidth), stats.copy_bandwidth_stalls);
+  EXPECT_GT(c.copy_arrival_wakeups, 0u);  // the cross-cluster edges
+}
+
+TEST(Observer, RunBeginRearmsTheSink) {
+  TestBench bench = observer_bench();
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<CountingObserver> core(cfg, *bench.program);
+  const SimStats first = run_observed(bench, core);
+  EXPECT_EQ(core.observer().commits, first.committed_uops);
+  const SimStats second = run_observed(bench, core);
+  // Counts describe the latest run only, not the accumulated pair.
+  EXPECT_EQ(core.observer().commits, second.committed_uops);
+}
+
+TEST(Observer, EventOrderingOnSerialChain) {
+  // One serial dependence chain in one cluster: seq order == dependence
+  // order, which pins down the relative event cycles exactly.
+  std::vector<MicroOp> uops;
+  for (int i = 0; i < 4; ++i) uops.push_back(alu(r(1), {r(1)}, 0));
+  TestBench bench(uops, 25);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<TimelineObserver> core(cfg, *bench.program);
+  const SimStats stats = run_observed(bench, core);
+  const std::vector<TimelineObserver::Event> events =
+      core.observer().events();
+
+  std::vector<TimelineObserver::Event> steers, issues, commits, wakeups;
+  for (const TimelineObserver::Event& e : events) {
+    switch (e.kind) {
+      case TimelineObserver::Kind::kSteer: steers.push_back(e); break;
+      case TimelineObserver::Kind::kIssue: issues.push_back(e); break;
+      case TimelineObserver::Kind::kCommit: commits.push_back(e); break;
+      case TimelineObserver::Kind::kWakeup: wakeups.push_back(e); break;
+      default: break;
+    }
+  }
+  ASSERT_EQ(commits.size(), stats.committed_uops);
+  ASSERT_EQ(issues.size(), stats.dispatched_uops);
+
+  // Commit is in-order: strictly increasing seq, non-decreasing cycle.
+  for (std::size_t i = 1; i < commits.size(); ++i) {
+    EXPECT_EQ(commits[i].seq, commits[i - 1].seq + 1);
+    EXPECT_GE(commits[i].cycle, commits[i - 1].cycle);
+  }
+  // Per micro-op: steered no later than issued, issued before committed.
+  std::sort(issues.begin(), issues.end(),
+            [](const auto& a, const auto& b) { return a.seq < b.seq; });
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    EXPECT_EQ(steers[i].seq, issues[i].seq);
+    EXPECT_LE(steers[i].cycle, issues[i].cycle);
+    EXPECT_LT(issues[i].cycle, commits[i].cycle);
+    // Result publishes (aux = complete cycle) before the commit drains it.
+    EXPECT_LT(issues[i].aux, commits[i].cycle);
+  }
+  // A dependent op issues no earlier than its producer's wakeup: on the
+  // single serial chain the k-th issue consumes the (k-1)-th published
+  // value.
+  ASSERT_EQ(wakeups.size(), issues.size());  // every op publishes a value
+  for (std::size_t i = 1; i < issues.size(); ++i) {
+    EXPECT_GE(issues[i].cycle, wakeups[i - 1].cycle);
+    EXPECT_FALSE(wakeups[i - 1].flags & TimelineObserver::kCopyArrival);
+  }
+}
+
+TEST(Observer, TimelineWindowAndRingBounds) {
+  TestBench bench = observer_bench();
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<TimelineObserver> core(cfg, *bench.program);
+  core.observer().set_window(10, 20);
+  core.observer().set_capacity(8);
+  const SimStats stats = run_observed(bench, core);
+  const std::vector<TimelineObserver::Event> events =
+      core.observer().events();
+  EXPECT_LE(events.size(), 8u);
+  for (const TimelineObserver::Event& e : events) {
+    EXPECT_GE(e.cycle, 10u);
+    EXPECT_LT(e.cycle, 30u);
+  }
+  for (const TimelineObserver::CycleSample& s :
+       core.observer().cycle_samples()) {
+    EXPECT_GE(s.cycle, 10u);
+    EXPECT_LT(s.cycle, 30u);
+  }
+  // The ring dropped events, but the embedded counts still cover the whole
+  // run — that is what reconciliation relies on.
+  EXPECT_GT(core.observer().dropped(), 0u);
+  EXPECT_EQ(core.observer().counts().commits, stats.committed_uops);
+}
+
+TEST(Observer, SteerEventsCarryPolicyScores) {
+  TestBench bench = observer_bench();
+  MachineConfig cfg = MachineConfig::two_cluster();
+  ClusteredCoreT<TimelineObserver> core(cfg, *bench.program);
+  steer::OpPolicy policy(cfg);
+  const SimStats stats = core.run(bench.trace, policy);
+  ASSERT_GT(stats.dispatched_uops, 0u);
+  std::uint64_t scored = 0;
+  for (const TimelineObserver::Event& e : core.observer().events()) {
+    if (e.kind != TimelineObserver::Kind::kSteer) continue;
+    if (e.num_scores == 0) continue;
+    ++scored;
+    EXPECT_EQ(e.num_scores, cfg.num_clusters);
+  }
+  // The OP policy votes per cluster on every non-trivial decision.
+  EXPECT_GT(scored, 0u);
 }
 
 }  // namespace
