@@ -59,6 +59,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "harness/experiment.hpp"
+#include "sim/kernels.hpp"
 
 namespace vcsteer::bench {
 
@@ -403,9 +404,15 @@ class Output {
       if (!r.trace.empty()) {
         uops_ += r.committed_uops;
         cycles_ += r.cycles;
+        schemes_[r.scheme].uops += r.committed_uops;
       }
     }
+    for (const auto& [label, span] : sweep.scheme_simulate_s) {
+      schemes_[label].simulate_s += span;
+    }
     experiments_ += sweep.experiments;
+    lane_groups_ += sweep.lane_groups;
+    batched_points_ += sweep.batched_points;
     phases_ += sweep.phases;
     if (sweep.skipped > 0) {
       std::fprintf(stderr,
@@ -443,7 +450,11 @@ class Output {
     summary.uops = uops_;
     summary.cycles = cycles_;
     summary.experiments = experiments_;
+    summary.lane_groups = lane_groups_;
+    summary.batched_points = batched_points_;
+    summary.kernel = sim::kern::selected_name();
     summary.phases = phases_;
+    summary.schemes = schemes_;
     if (launch_report_) {
       summary.launch_workers = opt_.launch;
       summary.launch_max_retries = kLaunchMaxRetries;
@@ -472,7 +483,10 @@ class Output {
   std::uint64_t uops_ = 0;
   std::uint64_t cycles_ = 0;
   std::size_t experiments_ = 0;
+  std::size_t lane_groups_ = 0;
+  std::size_t batched_points_ = 0;
   exec::PhaseSeconds phases_;
+  std::map<std::string, exec::RunSummary::SchemeSummary> schemes_;
   bool first_ = true;
 };
 

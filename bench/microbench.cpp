@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
 #include <utility>
 
 #include "compiler/ob_pass.hpp"
@@ -17,7 +18,9 @@
 #include "graph/partition.hpp"
 #include "harness/experiment.hpp"
 #include "sim/core.hpp"
+#include "sim/sim_batch.hpp"
 #include "sim/sim_context.hpp"
+#include "sim/value_table.hpp"
 #include "workload/pinpoints.hpp"
 #include "workload/profiles.hpp"
 #include "workload/trace.hpp"
@@ -158,11 +161,78 @@ void BM_ValueTableChurn(benchmark::State& state) {
       ++st.clusters[0].regs_used_int;  // release frees the home register
       st.release_value(tag);
     }
-    benchmark::DoNotOptimize(st.free_values.size());
+    benchmark::DoNotOptimize(st.values.size());
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_ValueTableChurn);
+
+// The same wakeup/select kernel exercised lane-parallel: one CoreState per
+// batch lane, visited round-robin the way SimBatch's lane loop does. The
+// per-entry cost relative to BM_WakeupSelect is the locality price of
+// switching between per-lane working sets (value table, queue slots) —
+// what the batch's blocked lane schedule is tuned to keep near zero.
+void BM_BatchedWakeupSelect(benchmark::State& state) {
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  const prog::Program program = kernel_program();
+  std::vector<std::unique_ptr<sim::CoreState>> lanes;
+  for (std::size_t l = 0; l < sim::kMaxBatchLanes; ++l) {
+    lanes.push_back(std::make_unique<sim::CoreState>(cfg, program));
+  }
+  const std::uint32_t n = cfg.iq_int_entries;
+  for (auto _ : state) {
+    for (auto& lane : lanes) {
+      sim::CoreState& st = *lane;
+      sim::ClusterState& cl = st.clusters[0];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const sim::Tag tag = st.alloc_value(0, false);
+        const std::uint32_t slot = cl.iq_int.alloc();
+        sim::IqEntry& e = cl.iq_int[slot];
+        e.uop = 0;
+        e.seq = i;
+        e.num_srcs = 1;
+        e.src_tags[0] = tag;
+        e.waiting_srcs = 1;
+        st.add_waiter(tag, 0, sim::WaiterKind::kIqInt, slot);
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        st.publish(static_cast<sim::Tag>(i), 0, 1);
+      }
+      std::uint32_t idx = cl.iq_int.ready_head();
+      while (idx != sim::kNilIdx) {
+        const std::uint32_t next = cl.iq_int[idx].ready_next;
+        cl.iq_int.ready_remove(idx);
+        cl.iq_int.release(idx);
+        idx = next;
+      }
+      benchmark::DoNotOptimize(cl.iq_int.ready_head());
+      st.reset();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * lanes.size());
+}
+BENCHMARK(BM_BatchedWakeupSelect);
+
+// Churn on the SoA ValueTable directly: free-list alloc, availability
+// publish (mark_avail), the steer-side mask probe, and free. Unlike
+// BM_ValueTableChurn this bypasses CoreState's register-file accounting, so
+// ns/op is the table itself — the byte-plane writes alloc touches and the
+// guarded avail_cycle row it deliberately leaves dirty.
+void BM_SoAValueTableChurn(benchmark::State& state) {
+  sim::ValueTable table;
+  const int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const sim::Tag tag = table.alloc(/*home=*/0, /*fp=*/false);
+      table.mark_avail(tag, 0, static_cast<std::uint64_t>(i) + 1);
+      benchmark::DoNotOptimize(table.avail_mask(tag));
+      table.free_tag(tag);
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SoAValueTableChurn);
 
 // Arena reuse (SimContext) vs per-run core reconstruction: the same short
 // trace simulated in a reused reset-in-place core and in a freshly built

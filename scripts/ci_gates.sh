@@ -18,6 +18,13 @@
 #             per-phase timing spans and event counts, and the
 #             pipeline_viewer's event counts reconcile exactly with the
 #             simulator's own SimStats counters
+#   batch     batched lane-parallel simulation: a coalesced fig5 smoke
+#             sweep (VCSTEER_KERNEL=scalar, then avx2) must produce results
+#             JSON byte-identical to the batching-off run, with lane groups
+#             actually formed. The AVX2 leg is skipped — loudly — when the
+#             host CPU lacks it (the summary reports the kernel actually
+#             selected, so a silent scalar fallback cannot masquerade as
+#             AVX2 coverage).
 #   perf      NON-BLOCKING perf trajectory: runs fig5_twocluster --smoke
 #             --jobs 1, derives kuops/s from its --summary-json/--json via
 #             scripts/perf_gate.py, and rewrites BENCH_perf.json at the repo
@@ -119,7 +126,7 @@ gate_perf() {
   if [[ -x "$BUILD_DIR/microbench" ]]; then
     microbench_json="$GATE_OUT/perf_microbench.json"
     "$BUILD_DIR/microbench" \
-      --benchmark_filter='BM_WakeupSelect|BM_ValueTableChurn|BM_ArenaRunReused' \
+      --benchmark_filter='BM_WakeupSelect|BM_BatchedWakeupSelect|BM_ValueTableChurn|BM_SoAValueTableChurn|BM_ArenaRunReused' \
       --benchmark_format=json > "$microbench_json"
   fi
   # Only a Release run may rewrite the repo-root baseline; numbers from any
@@ -135,6 +142,43 @@ gate_perf() {
   fi
   python3 "$ROOT/scripts/perf_gate.py" "$GATE_OUT/perf_summary.json" \
     "$GATE_OUT/perf_results.json" "$perf_out" ${microbench_json:+"$microbench_json"}
+}
+
+gate_batch() {
+  # Bit-identity of the batched lane-parallel path: the same smoke sweep
+  # with batching disabled, batched on the scalar kernel, and batched on
+  # the AVX2 kernel must write byte-identical results JSON. Also works
+  # under a sanitizer build dir (the sanitize CI job runs it), which is
+  # the ASan/UBSan coverage of the batch path.
+  VCSTEER_BATCH=off "$BUILD_DIR/fig5_twocluster" --smoke --jobs 1 \
+    --json "$GATE_OUT/batch_off.json" \
+    --summary-json "$GATE_OUT/batch_off_summary.json"
+  assert_summary "$GATE_OUT/batch_off_summary.json" \
+    'ok' 'sweep["lane_groups"] == 0' 'sweep["batched_points"] == 0'
+
+  VCSTEER_KERNEL=scalar "$BUILD_DIR/fig5_twocluster" --smoke --jobs 1 \
+    --json "$GATE_OUT/batch_scalar.json" \
+    --summary-json "$GATE_OUT/batch_scalar_summary.json"
+  assert_summary "$GATE_OUT/batch_scalar_summary.json" \
+    'ok' 'sweep["lane_groups"] > 0' 'sweep["batched_points"] > 0' \
+    'events["kernel"] == "scalar"'
+  cmp "$GATE_OUT/batch_off.json" "$GATE_OUT/batch_scalar.json"
+
+  VCSTEER_KERNEL=avx2 "$BUILD_DIR/fig5_twocluster" --smoke --jobs 1 \
+    --json "$GATE_OUT/batch_avx2.json" \
+    --summary-json "$GATE_OUT/batch_avx2_summary.json"
+  local kernel
+  kernel="$(python3 -c 'import json,sys
+print(json.load(open(sys.argv[1]))["events"]["kernel"])' \
+    "$GATE_OUT/batch_avx2_summary.json")"
+  if [[ "$kernel" == "avx2" ]]; then
+    assert_summary "$GATE_OUT/batch_avx2_summary.json" \
+      'ok' 'sweep["lane_groups"] > 0'
+    cmp "$GATE_OUT/batch_off.json" "$GATE_OUT/batch_avx2.json"
+  else
+    echo "ci_gates: batch: host CPU lacks AVX2 (selected kernel:" \
+         "$kernel); scalar-vs-AVX2 equality not covered on this runner" >&2
+  fi
 }
 
 gate_ablation() {
@@ -203,7 +247,7 @@ gate_launch() {
     'ok' 'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
 }
 
-ALL_GATES=(tier1 golden ablation smoke shard launch observe perf)
+ALL_GATES=(tier1 golden batch ablation smoke shard launch observe perf)
 if [[ $# -eq 0 ]]; then
   GATES=("${ALL_GATES[@]}")
 else

@@ -11,7 +11,8 @@ BENCH_perf.json baseline), and rewrites OUT_JSON:
 
     {"bench": ..., "host": ..., "wall_seconds": ..., "total_uops": ...,
      "kuops_per_sec": ...,
-     "schemes": {"OP": {"uops": ..., "kuops_per_sec": ...}, ...},
+     "schemes": {"OP": {"uops": ..., "simulate_s": ...,
+                        "kuops_per_sec": ...}, ...},
      "phases": {"trace_build_s": ..., "annotate_s": ..., "warmup_s": ...,
                 "simulate_s": ..., "cache_io_s": ...},
      "microbench": {"BM_WakeupSelect": {"real_time_ns": ...,
@@ -20,14 +21,17 @@ BENCH_perf.json baseline), and rewrites OUT_JSON:
 "phases" is copied from the summary's per-phase wall-clock spans (where the
 run actually spent its time — trace generation vs. the cycle loop).
 MICROBENCH_JSON, when given, is a google-benchmark --benchmark_format=json
-report; the gate records the wakeup/select, value-table-churn and
-arena-reuse kernels (BM_WakeupSelect, BM_ValueTableChurn, BM_ArenaRunReused)
-so the committed baseline tracks kernel-level trajectories alongside the
+report; the gate records the wakeup/select and value-table kernels (scalar
+and batched/SoA variants) plus arena reuse — see TRACKED_KERNELS — so the
+committed baseline tracks kernel-level trajectories alongside the
 end-to-end rate.
 
-Per-scheme rates share the run's wall clock (schemes amortise trace
-generation inside one TraceExperiment, so they cannot be timed apart);
-wall-clock numbers are only comparable run-over-run on one machine, so the
+Per-scheme rates come from the summary's "schemes" map when present: the
+bench attributes each scheme's own simulate span (batched lanes split the
+batch's measured span by per-lane step counts), so the rates differ per
+scheme. With an older summary the gate falls back to splitting the
+per-point uops over the shared wall clock.
+Wall-clock numbers are only comparable run-over-run on one machine, so the
 baseline comparison is skipped — loudly — when the recorded host differs
 (a CI runner never warns against a dev-box baseline; it builds its own
 trajectory through the uploaded artifact instead).
@@ -50,7 +54,9 @@ def host_id() -> str:
 
 
 # Microbench kernels tracked in the baseline (bench/microbench.cpp).
-TRACKED_KERNELS = ("BM_WakeupSelect", "BM_ValueTableChurn", "BM_ArenaRunReused")
+TRACKED_KERNELS = ("BM_WakeupSelect", "BM_BatchedWakeupSelect",
+                   "BM_ValueTableChurn", "BM_SoAValueTableChurn",
+                   "BM_ArenaRunReused")
 
 
 def read_microbench(path: str) -> dict:
@@ -100,18 +106,33 @@ def main() -> int:
         return 0
 
     schemes = {}
-    try:
-        for point in results.get("results", []):
-            entry = schemes.setdefault(point["scheme"], {"uops": 0})
-            entry["uops"] += point["committed_uops"]
-    except (KeyError, TypeError) as e:
-        # Schema drift (e.g. an older bench binary) must not break the
-        # non-blocking gate; skip rather than traceback.
-        print(f"perf_gate: results JSON missing expected fields ({e}); "
-              "skipping", file=sys.stderr)
-        return 0
-    for entry in schemes.values():
-        entry["kuops_per_sec"] = round(entry["uops"] / 1000.0 / wall, 3)
+    measured = summary.get("schemes", {})
+    if isinstance(measured, dict) and measured:
+        # The bench attributed each scheme's own simulate span (batched
+        # lanes split the batch's span by step count), so per-scheme rates
+        # are real throughputs, not one shared wall clock.
+        for label, entry in measured.items():
+            uops = int(entry.get("uops", 0))
+            sim_s = float(entry.get("simulate_s", 0.0))
+            schemes[label] = {"uops": uops, "simulate_s": round(sim_s, 6)}
+            if sim_s > 0.0:
+                schemes[label]["kuops_per_sec"] = round(
+                    uops / 1000.0 / sim_s, 3)
+    else:
+        # Older bench binary without the per-scheme summary: fall back to
+        # the per-point results document and share the run's wall clock.
+        try:
+            for point in results.get("results", []):
+                entry = schemes.setdefault(point["scheme"], {"uops": 0})
+                entry["uops"] += point["committed_uops"]
+        except (KeyError, TypeError) as e:
+            # Schema drift must not break the non-blocking gate; skip
+            # rather than traceback.
+            print(f"perf_gate: results JSON missing expected fields ({e}); "
+                  "skipping", file=sys.stderr)
+            return 0
+        for entry in schemes.values():
+            entry["kuops_per_sec"] = round(entry["uops"] / 1000.0 / wall, 3)
     total_uops = sweep.get("uops", 0)
     per_point_sum = sum(s["uops"] for s in schemes.values())
     if total_uops != per_point_sum:

@@ -30,7 +30,7 @@ class FixedQueue {
   /// Push to the back. Caller must ensure there is space.
   void push(T value) {
     VCSTEER_CHECK_MSG(!full(), "FixedQueue overflow");
-    slots_[(head_ + size_) % capacity_] = std::move(value);
+    slots_[wrap(head_ + size_)] = std::move(value);
     ++size_;
   }
 
@@ -52,17 +52,17 @@ class FixedQueue {
   /// Random access from the front: at(0) == front().
   T& at(std::size_t i) {
     VCSTEER_CHECK(i < size_);
-    return slots_[(head_ + i) % capacity_];
+    return slots_[wrap(head_ + i)];
   }
   const T& at(std::size_t i) const {
     VCSTEER_CHECK(i < size_);
-    return slots_[(head_ + i) % capacity_];
+    return slots_[wrap(head_ + i)];
   }
 
   T pop() {
     VCSTEER_CHECK(!empty());
     T value = std::move(slots_[head_]);
-    head_ = (head_ + 1) % capacity_;
+    head_ = wrap(head_ + 1);
     --size_;
     return value;
   }
@@ -73,6 +73,13 @@ class FixedQueue {
   }
 
  private:
+  /// head_ < capacity_ and any offset is <= size_ <= capacity_, so a raw
+  /// index is < 2 * capacity_: one conditional subtract replaces the
+  /// per-access modulo (a runtime division on the fetch-pipe hot path).
+  std::size_t wrap(std::size_t i) const {
+    return i >= capacity_ ? i - capacity_ : i;
+  }
+
   std::vector<T> slots_;
   std::size_t capacity_ = 0;
   std::size_t head_ = 0;

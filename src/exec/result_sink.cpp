@@ -20,14 +20,28 @@ void write_summary_json(std::ostream& os, const RunSummary& s) {
      << ",\"cache_hits\":" << s.cache_hits
      << ",\"skipped\":" << s.skipped
      << ",\"corrupt_recovered\":" << s.corrupt_recovered
-     << ",\"uops\":" << s.uops << "}"
+     << ",\"uops\":" << s.uops
+     << ",\"lane_groups\":" << s.lane_groups
+     << ",\"batched_points\":" << s.batched_points << "}"
      << ",\"phases\":{\"trace_build_s\":" << num(s.phases.trace_build)
      << ",\"annotate_s\":" << num(s.phases.annotate)
      << ",\"warmup_s\":" << num(s.phases.warmup)
      << ",\"simulate_s\":" << num(s.phases.simulate)
      << ",\"cache_io_s\":" << num(s.phases.cache_io) << "}"
+     << ",\"schemes\":{";
+  {
+    bool first = true;
+    for (const auto& [label, sch] : s.schemes) {
+      if (!first) os << ',';
+      first = false;
+      os << stats::json_quote(label) << ":{\"uops\":" << sch.uops
+         << ",\"simulate_s\":" << num(sch.simulate_s) << "}";
+    }
+  }
+  os << "}"
      << ",\"events\":{\"experiments\":" << s.experiments
-     << ",\"cycles\":" << s.cycles << "}";
+     << ",\"cycles\":" << s.cycles
+     << ",\"kernel\":" << stats::json_quote(s.kernel) << "}";
   if (s.launch_workers == 0) {
     os << ",\"launch\":null";
   } else {

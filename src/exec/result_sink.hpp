@@ -13,6 +13,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,8 +49,22 @@ struct RunSummary {
   std::uint64_t cycles = 0;
   /// TraceExperiments constructed across all sweeps of this run.
   std::size_t experiments = 0;
+  /// Batched lane groups executed and the simulated points they covered
+  /// (exec::SweepResult counters, summed over sweeps).
+  std::size_t lane_groups = 0;
+  std::size_t batched_points = 0;
+  /// The SIMD kernel variant the run's simulators dispatched to
+  /// (sim::kern::selected_name(): "scalar" or "avx2").
+  std::string kernel;
   /// Per-phase spans summed over all sweeps (see exec::PhaseSeconds).
   PhaseSeconds phases;
+  /// Per-scheme committed uops and simulate spans, for honest per-scheme
+  /// throughput (scripts/perf_gate.py) instead of one shared wall clock.
+  struct SchemeSummary {
+    std::uint64_t uops = 0;
+    double simulate_s = 0.0;
+  };
+  std::map<std::string, SchemeSummary> schemes;
   /// Shard-process orchestration (`--launch N`); workers == 0 means the
   /// bench ran single-process and the `launch` JSON field is null.
   unsigned launch_workers = 0;
@@ -60,10 +75,11 @@ struct RunSummary {
 /// One-line JSON document:
 ///   {"bench":...,"ok":...,"wall_seconds":...,
 ///    "sweep":{"points","simulated","cache_hits","skipped","corrupt_recovered",
-///             "uops"},
+///             "uops","lane_groups","batched_points"},
 ///    "phases":{"trace_build_s","annotate_s","warmup_s","simulate_s",
 ///              "cache_io_s"},
-///    "events":{"experiments","cycles"},
+///    "schemes":{label:{"uops","simulate_s"}...},
+///    "events":{"experiments","cycles","kernel"},
 ///    "launch":null | {"workers","max_retries","ok","failed_shards",
 ///                     "shards":[{"shard","attempts","ok","exit_code","signal"}]}}
 void write_summary_json(std::ostream& os, const RunSummary& summary);

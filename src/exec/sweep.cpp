@@ -3,13 +3,40 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <optional>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "exec/thread_pool.hpp"
+#include "sim/sim_batch.hpp"
 
 namespace vcsteer::exec {
+
+namespace {
+
+/// Lane count for scheme coalescing: the explicit option wins, then the
+/// VCSTEER_BATCH environment variable ("off" or a count), then the
+/// sim-layer maximum. Always in [1, sim::kMaxBatchLanes].
+std::uint32_t resolve_batch_lanes(std::uint32_t requested) {
+  std::uint32_t lanes = requested;
+  if (lanes == 0) {
+    const char* env = std::getenv("VCSTEER_BATCH");
+    if (env == nullptr) {
+      lanes = static_cast<std::uint32_t>(sim::kMaxBatchLanes);
+    } else if (std::string_view(env) == "off") {
+      lanes = 1;
+    } else {
+      const long parsed = std::strtol(env, nullptr, 10);
+      lanes = parsed >= 1 ? static_cast<std::uint32_t>(parsed) : 1;
+    }
+  }
+  return std::clamp<std::uint32_t>(
+      lanes, 1, static_cast<std::uint32_t>(sim::kMaxBatchLanes));
+}
+
+}  // namespace
 
 SweepResult::SweepResult(std::size_t traces, std::size_t machines,
                          std::size_t schemes)
@@ -59,10 +86,14 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> cache_corrupt{0};
   std::atomic<std::size_t> experiments{0};
+  std::atomic<std::size_t> lane_groups{0};
+  std::atomic<std::size_t> batched_points{0};
   std::atomic<std::size_t> jobs_done{0};
   std::mutex progress_mutex;
   std::mutex phases_mutex;
   PhaseSeconds phases;
+  std::map<std::string, double> scheme_simulate_s;
+  const std::uint32_t batch_lanes = resolve_batch_lanes(opt.batch_lanes);
   using Clock = std::chrono::steady_clock;
   auto seconds_since = [](Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -102,7 +133,49 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     if (!missing.empty()) {
       harness::TraceExperiment experiment(profile, machine, grid.budget);
       experiments.fetch_add(1, std::memory_order_relaxed);
+      const auto store = [&](std::size_t s, const harness::RunResult& out) {
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        if (cache) {
+          const Clock::time_point t0 = Clock::now();
+          cache->store(keys[s], out);
+          job_phases.cache_io += seconds_since(t0);
+        }
+      };
+      // Coalesce the built-in schemes into lane groups of batch_lanes:
+      // one run_batch pass warms each simulation point once for the whole
+      // group instead of once per scheme, bit-identically. Custom-policy
+      // schemes stay singleton (a SchemeSpec cannot describe them), as do
+      // leftover groups of one (nothing to share).
+      std::vector<std::size_t> singleton;
+      std::vector<std::size_t> batchable;
       for (const std::size_t s : missing) {
+        (grid.schemes[s].make_policy || batch_lanes <= 1 ? singleton
+                                                         : batchable)
+            .push_back(s);
+      }
+      for (std::size_t begin = 0; begin < batchable.size();
+           begin += batch_lanes) {
+        const std::size_t end =
+            std::min(batchable.size(), begin + batch_lanes);
+        if (end - begin == 1) {
+          singleton.push_back(batchable[begin]);
+          continue;
+        }
+        std::vector<harness::SchemeSpec> specs;
+        specs.reserve(end - begin);
+        for (std::size_t g = begin; g < end; ++g) {
+          specs.push_back(grid.schemes[batchable[g]].spec);
+        }
+        std::vector<harness::RunResult> outs = experiment.run_batch(specs);
+        lane_groups.fetch_add(1, std::memory_order_relaxed);
+        batched_points.fetch_add(end - begin, std::memory_order_relaxed);
+        for (std::size_t g = begin; g < end; ++g) {
+          const std::size_t s = batchable[g];
+          result.slot(t, m, s) = std::move(outs[g - begin]);
+          store(s, result.slot(t, m, s));
+        }
+      }
+      for (const std::size_t s : singleton) {
         const SweepScheme& scheme = grid.schemes[s];
         harness::RunResult& out = result.slot(t, m, s);
         if (scheme.make_policy) {
@@ -112,18 +185,17 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
         } else {
           out = experiment.run(scheme.spec);
         }
-        simulated.fetch_add(1, std::memory_order_relaxed);
-        if (cache) {
-          const Clock::time_point t0 = Clock::now();
-          cache->store(keys[s], out);
-          job_phases.cache_io += seconds_since(t0);
-        }
+        store(s, out);
       }
       const harness::PhaseTimes& pt = experiment.phases();
       job_phases.trace_build += pt.trace_build_s;
       job_phases.annotate += pt.annotate_s;
       job_phases.warmup += pt.warmup_s;
       job_phases.simulate += pt.simulate_s;
+      std::lock_guard<std::mutex> lock(phases_mutex);
+      for (const auto& [label, span] : experiment.scheme_simulate_s()) {
+        scheme_simulate_s[label] += span;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(phases_mutex);
@@ -162,7 +234,10 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
   result.cache_hits = cache_hits.load();
   result.cache_corrupt = cache_corrupt.load();
   result.experiments = experiments.load();
+  result.lane_groups = lane_groups.load();
+  result.batched_points = batched_points.load();
   result.phases = phases;
+  result.scheme_simulate_s = std::move(scheme_simulate_s);
   return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,13 @@ struct SweepOptions {
   /// Called after each (trace, machine) job completes, from the worker
   /// thread (serialised by the runner). done/total count this shard's jobs.
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Lanes per batched group when coalescing a job's built-in schemes into
+  /// one TraceExperiment::run_batch pass (results stay bit-identical;
+  /// custom-policy schemes always run singleton). 0 resolves from the
+  /// VCSTEER_BATCH environment variable ("off" or a lane count; unset =
+  /// sim::kMaxBatchLanes); 1 disables coalescing. Clamped to
+  /// [1, sim::kMaxBatchLanes].
+  std::uint32_t batch_lanes = 0;
 };
 
 /// Wall-clock seconds a sweep spent per phase, summed over all jobs (so on
@@ -126,8 +134,17 @@ class SweepResult {
   /// TraceExperiments actually constructed (jobs with at least one cache
   /// miss); 0 on a fully warm sweep.
   std::size_t experiments = 0;
+  /// Batched lane groups executed and the points they covered (the rest of
+  /// `simulated` ran singleton: custom policies, leftover chunks of one,
+  /// or coalescing disabled).
+  std::size_t lane_groups = 0;
+  std::size_t batched_points = 0;
   /// Per-phase wall-clock spans, summed over all jobs of this run.
   PhaseSeconds phases;
+  /// Simulate span per scheme label, summed over all jobs (cache-served
+  /// points contribute nothing — no cycle loop ran for them). Batched
+  /// lanes report their proportional share of the shared loop.
+  std::map<std::string, double> scheme_simulate_s;
 
  private:
   friend SweepResult run_sweep(const SweepGrid&, const SweepOptions&);

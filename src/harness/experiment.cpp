@@ -9,6 +9,7 @@
 #include "compiler/rhop_pass.hpp"
 #include "compiler/vc_pass.hpp"
 #include "sim/core.hpp"
+#include "sim/sim_batch.hpp"
 #include "sim/sim_context.hpp"
 #include "steer/vc_policy.hpp"
 #include "workload/trace.hpp"
@@ -31,6 +32,69 @@ workload::GeneratedWorkload timed_generate(
   phases.trace_build_s += seconds_since(t0);
   return wl;
 }
+
+// PinPoints-weighted accumulation of one scheme's simulation points into a
+// RunResult. Shared by the singleton (run_annotated) and batched
+// (run_batch) paths so both produce bit-identical aggregates: the
+// floating-point operations and their order are exactly the historical
+// run_annotated loop's.
+class WeightedAccum {
+ public:
+  WeightedAccum(std::string trace, std::string scheme,
+                std::uint64_t num_points, std::uint32_t num_clusters) {
+    result_.trace = std::move(trace);
+    result_.scheme = std::move(scheme);
+    result_.num_points = num_points;
+    result_.num_clusters = num_clusters;
+  }
+
+  void add_point(double w, const sim::SimStats& stats,
+                 const sim::StatsObserver& obs, std::uint32_t num_clusters) {
+    w_cycles_ += w * static_cast<double>(stats.cycles);
+    w_uops_ += w * static_cast<double>(stats.committed_uops);
+    w_copies_ += w * static_cast<double>(stats.copies_generated);
+    w_alloc_ += w * static_cast<double>(stats.alloc_stalls);
+    w_policy_ += w * static_cast<double>(stats.policy_stalls);
+    w_hops_ += w * static_cast<double>(stats.copy_hops);
+    w_contention_ += w * static_cast<double>(stats.link_contention_cycles);
+    w_avoided_ += w * static_cast<double>(stats.avoided_contended_links);
+    result_.committed_uops += stats.committed_uops;
+    result_.cycles += stats.cycles;
+    result_.last_interval = stats;
+    for (std::uint32_t c = 0; c < num_clusters; ++c) {
+      w_occ_[c] += w * static_cast<double>(stats.occupancy_sum[c]);
+      w_copyq_occ_[c] += w * static_cast<double>(stats.copyq_occupancy_sum[c]);
+      for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
+        result_.iq_occupancy_hist[c][b] += obs.hist(c)[b];
+      }
+      result_.steered_with_copy[c] += obs.steered_with_copy(c);
+      result_.steered_local[c] += obs.steered_local(c);
+    }
+  }
+
+  RunResult finalize(std::uint32_t num_clusters) {
+    VCSTEER_CHECK(w_cycles_ > 0.0 && w_uops_ > 0.0);
+    result_.ipc = w_uops_ / w_cycles_;
+    result_.copies_per_kuop = 1000.0 * w_copies_ / w_uops_;
+    result_.alloc_stalls_per_kuop = 1000.0 * w_alloc_ / w_uops_;
+    result_.policy_stalls_per_kuop = 1000.0 * w_policy_ / w_uops_;
+    result_.copy_hops_per_kuop = 1000.0 * w_hops_ / w_uops_;
+    result_.link_contention_per_kuop = 1000.0 * w_contention_ / w_uops_;
+    result_.avoided_contended_per_kuop = 1000.0 * w_avoided_ / w_uops_;
+    for (std::uint32_t c = 0; c < num_clusters; ++c) {
+      result_.avg_iq_occupancy[c] = w_occ_[c] / w_cycles_;
+      result_.avg_copyq_occupancy[c] = w_copyq_occ_[c] / w_cycles_;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  RunResult result_;
+  double w_cycles_ = 0, w_uops_ = 0, w_copies_ = 0, w_alloc_ = 0,
+         w_policy_ = 0, w_hops_ = 0, w_contention_ = 0, w_avoided_ = 0;
+  std::array<double, sim::kMaxClusters> w_occ_{};
+  std::array<double, sim::kMaxClusters> w_copyq_occ_{};
+};
 
 }  // namespace
 
@@ -185,63 +249,78 @@ RunResult TraceExperiment::run(steer::SteeringPolicy& policy,
 
 RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
                                          std::string label) {
-  RunResult result;
-  result.trace = wl_.profile.name;
-  result.scheme = std::move(label);
-  result.num_points = points_.size();
-
   // One arena for the experiment's lifetime: every scheme and simulation
   // point reuses the same core, reset in place per run.
   if (!ctx_) ctx_ = std::make_unique<sim::SimContext>(machine_, wl_.program);
   sim::ClusteredCore& core = ctx_->core();
-  result.num_clusters = machine_.num_clusters;
-  double w_cycles = 0.0, w_uops = 0.0, w_copies = 0.0, w_alloc = 0.0,
-         w_policy = 0.0, w_hops = 0.0, w_contention = 0.0, w_avoided = 0.0;
-  std::array<double, sim::kMaxClusters> w_occ{};
-  std::array<double, sim::kMaxClusters> w_copyq_occ{};
+  WeightedAccum acc(wl_.profile.name, std::move(label), points_.size(),
+                    machine_.num_clusters);
   sim::RunPhases run_phases;
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    const double w = points_[i].weight;
     const sim::SimStats stats =
         core.run(intervals_[i], policy, warm_addrs_[i], &run_phases);
-    w_cycles += w * static_cast<double>(stats.cycles);
-    w_uops += w * static_cast<double>(stats.committed_uops);
-    w_copies += w * static_cast<double>(stats.copies_generated);
-    w_alloc += w * static_cast<double>(stats.alloc_stalls);
-    w_policy += w * static_cast<double>(stats.policy_stalls);
-    w_hops += w * static_cast<double>(stats.copy_hops);
-    w_contention += w * static_cast<double>(stats.link_contention_cycles);
-    w_avoided += w * static_cast<double>(stats.avoided_contended_links);
-    result.committed_uops += stats.committed_uops;
-    result.cycles += stats.cycles;
-    result.last_interval = stats;
     // Harvest the run's observer sink before the next run() re-arms it.
-    const sim::StatsObserver& obs = core.observer();
-    for (std::uint32_t c = 0; c < machine_.num_clusters; ++c) {
-      w_occ[c] += w * static_cast<double>(stats.occupancy_sum[c]);
-      w_copyq_occ[c] += w * static_cast<double>(stats.copyq_occupancy_sum[c]);
-      for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
-        result.iq_occupancy_hist[c][b] += obs.hist(c)[b];
-      }
-      result.steered_with_copy[c] += obs.steered_with_copy(c);
-      result.steered_local[c] += obs.steered_local(c);
-    }
+    acc.add_point(points_[i].weight, stats, core.observer(),
+                  machine_.num_clusters);
   }
   phases_.warmup_s += run_phases.warmup_s;
   phases_.simulate_s += run_phases.simulate_s;
-  VCSTEER_CHECK(w_cycles > 0.0 && w_uops > 0.0);
-  result.ipc = w_uops / w_cycles;
-  result.copies_per_kuop = 1000.0 * w_copies / w_uops;
-  result.alloc_stalls_per_kuop = 1000.0 * w_alloc / w_uops;
-  result.policy_stalls_per_kuop = 1000.0 * w_policy / w_uops;
-  result.copy_hops_per_kuop = 1000.0 * w_hops / w_uops;
-  result.link_contention_per_kuop = 1000.0 * w_contention / w_uops;
-  result.avoided_contended_per_kuop = 1000.0 * w_avoided / w_uops;
-  for (std::uint32_t c = 0; c < machine_.num_clusters; ++c) {
-    result.avg_iq_occupancy[c] = w_occ[c] / w_cycles;
-    result.avg_copyq_occupancy[c] = w_copyq_occ[c] / w_cycles;
-  }
+  RunResult result = acc.finalize(machine_.num_clusters);
+  scheme_simulate_s_[result.scheme] += run_phases.simulate_s;
   return result;
+}
+
+std::vector<RunResult> TraceExperiment::run_batch(
+    std::span<const SchemeSpec> specs) {
+  VCSTEER_CHECK(!specs.empty());
+  VCSTEER_CHECK_MSG(specs.size() <= sim::kMaxBatchLanes,
+                    "more schemes than batch lanes");
+  if (!ctx_) ctx_ = std::make_unique<sim::SimContext>(machine_, wl_.program);
+
+  // Annotate each scheme into its lane's private program copy (the passes
+  // mutate hints in place, so lanes cannot share wl_.program) and build
+  // its hardware policy.
+  std::vector<sim::ClusteredCore*> cores;
+  std::vector<std::unique_ptr<steer::SteeringPolicy>> policies;
+  std::vector<WeightedAccum> accs;
+  cores.reserve(specs.size());
+  policies.reserve(specs.size());
+  accs.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const Clock::time_point t0 = Clock::now();
+    annotate_for_scheme(wl_.program, specs[k], machine_);
+    phases_.annotate_s += seconds_since(t0);
+    cores.push_back(&ctx_->lane_core(k, wl_.program));
+    policies.push_back(policy_for_scheme(specs[k], machine_));
+    accs.emplace_back(wl_.profile.name, specs[k].label(machine_),
+                      points_.size(), machine_.num_clusters);
+  }
+
+  std::vector<RunResult> results;
+  std::vector<sim::RunPhases> lane_phases(specs.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    sim::SimBatch batch;
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      batch.add_lane(*cores[k], *policies[k], intervals_[i], warm_addrs_[i]);
+    }
+    batch.run();
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      const sim::SimBatch::Lane& ln = batch.lane(k);
+      accs[k].add_point(points_[i].weight, ln.stats, cores[k]->observer(),
+                        machine_.num_clusters);
+      lane_phases[k].warmup_s += ln.phases.warmup_s;
+      lane_phases[k].simulate_s += ln.phases.simulate_s;
+    }
+  }
+  results.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    RunResult result = accs[k].finalize(machine_.num_clusters);
+    phases_.warmup_s += lane_phases[k].warmup_s;
+    phases_.simulate_s += lane_phases[k].simulate_s;
+    scheme_simulate_s_[result.scheme] += lane_phases[k].simulate_s;
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace vcsteer::harness

@@ -13,7 +13,9 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -118,6 +120,15 @@ class TraceExperiment {
   /// all simulation points, aggregates with PinPoints weights).
   RunResult run(const SchemeSpec& spec);
 
+  /// Evaluate up to sim::kMaxBatchLanes steering configurations in one
+  /// batched pass: the trace, simulation points and warm-address streams
+  /// are built once (at construction, as always), each scheme annotates a
+  /// private lane copy of the program, and every simulation point advances
+  /// all lanes through one interleaved cycle loop that warms the cache
+  /// hierarchy once per point instead of once per scheme. Results are
+  /// bit-identical to calling run(spec) per scheme, in order.
+  std::vector<RunResult> run_batch(std::span<const SchemeSpec> specs);
+
   /// Evaluate a caller-constructed hardware policy (no software pass; any
   /// previous hints are cleared). `label` becomes RunResult::scheme. Used by
   /// exec::SweepRunner for policies a SchemeSpec cannot describe (MOD-N,
@@ -130,6 +141,13 @@ class TraceExperiment {
   /// Wall-clock spans accumulated over this experiment's lifetime
   /// (construction + every run so far).
   const PhaseTimes& phases() const { return phases_; }
+  /// Simulate span per scheme label (each run's own cycle-loop span; in a
+  /// batch, the shared span attributed proportionally to each lane's step
+  /// count). Lets callers derive honest per-scheme throughput instead of
+  /// dividing one shared wall clock evenly.
+  const std::map<std::string, double>& scheme_simulate_s() const {
+    return scheme_simulate_s_;
+  }
 
  private:
   /// Weighted simulation of all points under an already-annotated program.
@@ -138,6 +156,7 @@ class TraceExperiment {
   MachineConfig machine_;
   SimBudget budget_;
   PhaseTimes phases_;
+  std::map<std::string, double> scheme_simulate_s_;
   workload::GeneratedWorkload wl_;
   /// Reusable simulation arena (sim/sim_context.hpp): one core whose pools,
   /// value table and cache arrays persist across every run() of this

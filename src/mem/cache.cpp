@@ -1,5 +1,7 @@
 #include "mem/cache.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace vcsteer::mem {
@@ -8,33 +10,13 @@ Cache::Cache(const CacheConfig& config)
     : config_(config), num_sets_(config.num_sets()) {
   VCSTEER_CHECK_MSG(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0,
                     "cache set count must be a power of two");
+  VCSTEER_CHECK_MSG(config_.line_bytes > 0 &&
+                        (config_.line_bytes & (config_.line_bytes - 1)) == 0,
+                    "cache line size must be a power of two");
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(config_.line_bytes)));
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(num_sets_));
   ways_.assign(num_sets_ * config_.associativity, Way{});
-}
-
-bool Cache::access(std::uint64_t addr) {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  Way* base = &ways_[set * config_.associativity];
-  ++tick_;
-  Way* victim = base;
-  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-    Way& way = base[w];
-    if (way.valid && way.tag == tag) {
-      way.lru = tick_;
-      ++hits_;
-      return true;
-    }
-    if (!way.valid) {
-      victim = &way;  // prefer invalid ways
-    } else if (victim->valid && way.lru < victim->lru) {
-      victim = &way;
-    }
-  }
-  ++misses_;
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = tick_;
-  return false;
 }
 
 bool Cache::contains(std::uint64_t addr) const {

@@ -17,7 +17,8 @@ class Cache {
   explicit Cache(const CacheConfig& config);
 
   /// Looks up `addr`; on miss the line is filled (evicting LRU). Returns
-  /// true on hit.
+  /// true on hit. Defined inline below: it runs per simulated memory
+  /// access, where the cross-TU call cost is measurable.
   bool access(std::uint64_t addr);
 
   /// Lookup without fill or LRU update (used by tests and warmup checks).
@@ -36,19 +37,49 @@ class Cache {
     bool valid = false;
   };
 
+  // Geometry is power-of-two (checked at construction), so the per-access
+  // line/set decomposition is two shifts, not two integer divisions.
   std::uint64_t set_of(std::uint64_t addr) const {
-    return (addr / config_.line_bytes) & (num_sets_ - 1);
+    return (addr >> line_shift_) & (num_sets_ - 1);
   }
   std::uint64_t tag_of(std::uint64_t addr) const {
-    return addr / config_.line_bytes / num_sets_;
+    return addr >> (line_shift_ + set_shift_);
   }
 
   CacheConfig config_;
   std::uint64_t num_sets_;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t set_shift_ = 0;
   std::vector<Way> ways_;  ///< num_sets * associativity, set-major.
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
+
+inline bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * config_.associativity];
+  ++tick_;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer invalid ways
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
 
 }  // namespace vcsteer::mem

@@ -21,54 +21,22 @@ void MemoryHierarchy::warm(std::uint64_t addr) {
   if (!l1_.access(addr)) l2_.access(addr);
 }
 
-std::uint32_t MemoryHierarchy::lookup_latency(std::uint64_t addr) {
-  if (l1_.access(addr)) {
-    ++stats_.l1_hits;
-    return config_.l1d.hit_latency;
-  }
-  ++stats_.l1_misses;
-  if (l2_.access(addr)) {
-    ++stats_.l2_hits;
-    return config_.l2.hit_latency;
-  }
-  ++stats_.l2_misses;
-  return config_.memory_latency;
+namespace {
+bool same_geometry(const CacheConfig& a, const CacheConfig& b) {
+  return a.size_bytes == b.size_bytes && a.associativity == b.associativity &&
+         a.line_bytes == b.line_bytes;
+}
+}  // namespace
+
+bool MemoryHierarchy::warm_compatible(const MemoryHierarchy& other) const {
+  return same_geometry(config_.l1d, other.config_.l1d) &&
+         same_geometry(config_.l2, other.config_.l2);
 }
 
-std::uint32_t MemoryHierarchy::arbitrate(std::uint64_t cycle, bool write) {
-  // Requests are arbitrated in arrival order (the simulator issues in
-  // non-decreasing cycle order). (port_cycle_, used_) track the first cycle
-  // that still has a free port of each kind; a request that finds its cycle
-  // fully subscribed slips forward.
-  std::uint64_t* front = write ? &write_port_cycle_ : &port_cycle_;
-  std::uint32_t* used = write ? &writes_used_ : &reads_used_;
-  const std::uint32_t ports = write ? config_.l1_write_ports : config_.l1_read_ports;
-  if (cycle > *front) {
-    *front = cycle;
-    *used = 0;
-  }
-  while (*used >= ports) {
-    ++*front;
-    *used = 0;
-  }
-  ++*used;
-  const std::uint32_t wait = static_cast<std::uint32_t>(*front - cycle);
-  stats_.port_wait_cycles += wait;
-  return wait;
-}
-
-std::uint32_t MemoryHierarchy::load_latency(std::uint64_t addr,
-                                            std::uint64_t cycle) {
-  ++stats_.loads;
-  const std::uint32_t wait = arbitrate(cycle, /*write=*/false);
-  return wait + lookup_latency(addr);
-}
-
-std::uint32_t MemoryHierarchy::store_latency(std::uint64_t addr,
-                                             std::uint64_t cycle) {
-  ++stats_.stores;
-  const std::uint32_t wait = arbitrate(cycle, /*write=*/true);
-  return wait + lookup_latency(addr);
+void MemoryHierarchy::adopt_warm_state(const MemoryHierarchy& other) {
+  VCSTEER_CHECK(warm_compatible(other));
+  l1_ = other.l1_;
+  l2_ = other.l2_;
 }
 
 }  // namespace vcsteer::mem

@@ -31,6 +31,7 @@ class MemoryHierarchy {
 
   /// Latency in cycles of a load whose address is available at `cycle`
   /// (includes port arbitration, cache lookup and any miss penalty).
+  /// Defined inline below — queried once per simulated memory uop.
   std::uint32_t load_latency(std::uint64_t addr, std::uint64_t cycle);
 
   /// Same for a store. Stores consume the write port; their latency only
@@ -42,6 +43,18 @@ class MemoryHierarchy {
   /// prefix preceding a simulation point (standard SimPoint methodology —
   /// cold-start misses would otherwise dominate short intervals).
   void warm(std::uint64_t addr);
+
+  /// True when `other` has identical L1/L2 geometry, so its warmed cache
+  /// contents are exactly what warm() over the same address stream would
+  /// produce here (warming is deterministic and geometry-only).
+  bool warm_compatible(const MemoryHierarchy& other) const;
+
+  /// Adopt `other`'s cache contents in place of replaying warm() over the
+  /// same address stream (batched lanes sharing a simulation point). The
+  /// caller guarantees warm_compatible(other) and that this hierarchy is
+  /// freshly reset; port state and stats are untouched, exactly as after
+  /// local warming.
+  void adopt_warm_state(const MemoryHierarchy& other);
 
   const HierarchyStats& stats() const { return stats_; }
   void reset();
@@ -61,5 +74,57 @@ class MemoryHierarchy {
   std::uint64_t write_port_cycle_ = 0;
   std::uint32_t writes_used_ = 0;
 };
+
+inline std::uint32_t MemoryHierarchy::lookup_latency(std::uint64_t addr) {
+  if (l1_.access(addr)) {
+    ++stats_.l1_hits;
+    return config_.l1d.hit_latency;
+  }
+  ++stats_.l1_misses;
+  if (l2_.access(addr)) {
+    ++stats_.l2_hits;
+    return config_.l2.hit_latency;
+  }
+  ++stats_.l2_misses;
+  return config_.memory_latency;
+}
+
+inline std::uint32_t MemoryHierarchy::arbitrate(std::uint64_t cycle,
+                                                bool write) {
+  // Requests are arbitrated in arrival order (the simulator issues in
+  // non-decreasing cycle order). (port_cycle_, used_) track the first cycle
+  // that still has a free port of each kind; a request that finds its cycle
+  // fully subscribed slips forward.
+  std::uint64_t* front = write ? &write_port_cycle_ : &port_cycle_;
+  std::uint32_t* used = write ? &writes_used_ : &reads_used_;
+  const std::uint32_t ports =
+      write ? config_.l1_write_ports : config_.l1_read_ports;
+  if (cycle > *front) {
+    *front = cycle;
+    *used = 0;
+  }
+  while (*used >= ports) {
+    ++*front;
+    *used = 0;
+  }
+  ++*used;
+  const std::uint32_t wait = static_cast<std::uint32_t>(*front - cycle);
+  stats_.port_wait_cycles += wait;
+  return wait;
+}
+
+inline std::uint32_t MemoryHierarchy::load_latency(std::uint64_t addr,
+                                                   std::uint64_t cycle) {
+  ++stats_.loads;
+  const std::uint32_t wait = arbitrate(cycle, /*write=*/false);
+  return wait + lookup_latency(addr);
+}
+
+inline std::uint32_t MemoryHierarchy::store_latency(std::uint64_t addr,
+                                                    std::uint64_t cycle) {
+  ++stats_.stores;
+  const std::uint32_t wait = arbitrate(cycle, /*write=*/true);
+  return wait + lookup_latency(addr);
+}
 
 }  // namespace vcsteer::mem

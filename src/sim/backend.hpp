@@ -11,8 +11,10 @@
 // away.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
+#include "common/check.hpp"
 #include "mem/hierarchy.hpp"
 #include "sim/commit.hpp"
 #include "sim/core_state.hpp"
@@ -68,10 +70,16 @@ class ClusterBackend {
       if (uop.is_load()) {
         // Store-to-load forwarding: newest older store to the same
         // 8-byte word with a known address supplies the value directly.
+        // Records are seq-sorted (allocated in seq order, committed from
+        // the front), so start the newest-first walk at the last record
+        // older than the load instead of skipping younger ones one by one.
         auto& records = commit_.store_records();
         bool forwarded = false;
-        for (auto it = records.rbegin(); it != records.rend(); ++it) {
-          if (it->seq >= e.seq) continue;
+        auto it = std::lower_bound(
+            records.begin(), records.end(), e.seq,
+            [](const StoreRecord& r, std::uint64_t seq) { return r.seq < seq; });
+        while (it != records.begin()) {
+          --it;
           if (it->addr_known && (it->addr >> 3) == (e.addr >> 3)) {
             forwarded = true;
             break;
@@ -82,13 +90,13 @@ class ClusterBackend {
         // The store's cache access happens off the critical path; charge
         // it to the hierarchy (ports, fills) without delaying completion.
         memory_.store_latency(e.addr, state_.cycle + 1);
-        for (StoreRecord& rec : commit_.store_records()) {
-          if (rec.seq == e.seq) {
-            rec.addr = e.addr;
-            rec.addr_known = true;
-            break;
-          }
-        }
+        auto& records = commit_.store_records();
+        auto it = std::lower_bound(
+            records.begin(), records.end(), e.seq,
+            [](const StoreRecord& r, std::uint64_t seq) { return r.seq < seq; });
+        VCSTEER_DCHECK(it != records.end() && it->seq == e.seq);
+        it->addr = e.addr;
+        it->addr_known = true;
       }
       if (is_div) cl.div_busy_until = done;
       if constexpr (Obs::enabled) {
@@ -97,7 +105,8 @@ class ClusterBackend {
       }
       state_.completions.push(Completion{done, e.seq, e.dst_tag,
                                          static_cast<std::uint8_t>(cluster_),
-                                         /*is_copy_arrival=*/false});
+                                         /*is_copy_arrival=*/false},
+                              state_.cycle);
       pool.ready_remove(idx);
       pool.release(idx);
       --(fp_queue ? cl.fp_used : cl.int_used);

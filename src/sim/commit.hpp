@@ -41,7 +41,15 @@ template <Observer Obs>
 class CommitUnit {
  public:
   CommitUnit(CoreState& state, Obs& obs) : state_(state), obs_(obs) {
-    rob_.resize(state_.config.rob_int_entries + state_.config.rob_fp_entries);
+    // Ring sized to the next power of two so the per-uop (and per
+    // skip-probe) seq -> slot mapping is a mask, not an integer division.
+    // Occupancy is bounded by the config's entry counts, not the ring size.
+    const std::uint32_t capacity =
+        state_.config.rob_int_entries + state_.config.rob_fp_entries;
+    std::size_t ring = 1;
+    while (ring < capacity) ring <<= 1;
+    rob_.resize(ring);
+    rob_mask_ = ring - 1;
   }
 
   void reset() {
@@ -57,7 +65,7 @@ class CommitUnit {
     std::uint32_t int_budget = state_.config.commit_width_int;
     std::uint32_t fp_budget = state_.config.commit_width_fp;
     while (rob_int_used_ + rob_fp_used_ > 0) {
-      RobEntry& head = rob_[rob_head_seq_ % rob_.size()];
+      RobEntry& head = rob_[rob_head_seq_ & rob_mask_];
       if (!head.completed) break;
       std::uint32_t& budget = head.fp_slot ? fp_budget : int_budget;
       if (budget == 0) break;
@@ -89,10 +97,8 @@ class CommitUnit {
   /// Drain completion events up to the current cycle: publish values,
   /// mark ROB entries complete, free cluster-inflight and LSQ slots.
   void complete() {
-    while (!state_.completions.empty() &&
-           state_.completions.top().cycle <= state_.cycle) {
-      const Completion done = state_.completions.top();
-      state_.completions.pop();
+    std::vector<Completion>& due = state_.completions.due(state_.cycle);
+    for (const Completion& done : due) {
       if (done.tag != kNoTag) {
         state_.publish(done.tag, done.cluster, done.cycle);
         if constexpr (Obs::enabled) {
@@ -101,7 +107,7 @@ class CommitUnit {
         }
       }
       if (done.is_copy_arrival) continue;
-      RobEntry& entry = rob_[done.seq % rob_.size()];
+      RobEntry& entry = rob_[done.seq & rob_mask_];
       VCSTEER_DCHECK(!entry.completed);
       entry.completed = true;
       ClusterState& cl = state_.clusters[entry.cluster];
@@ -112,6 +118,7 @@ class CommitUnit {
         --lsq_used_;  // loads leave the LSQ once the cache answered
       }
     }
+    due.clear();
   }
 
   // ----- dispatch-side interface (SteerStage) -----
@@ -127,7 +134,7 @@ class CommitUnit {
   /// for `entry`; returns its seq. Caller has already checked capacity.
   std::uint64_t allocate(const RobEntry& entry, bool is_mem) {
     const std::uint64_t seq = next_seq_++;
-    rob_[seq % rob_.size()] = entry;
+    rob_[seq & rob_mask_] = entry;
     (entry.fp_slot ? rob_fp_used_ : rob_int_used_) += 1;
     if (is_mem) {
       ++lsq_used_;
@@ -144,12 +151,21 @@ class CommitUnit {
   /// True when no micro-op occupies the ROB (the back-end has drained).
   bool empty() const { return rob_int_used_ + rob_fp_used_ == 0; }
 
+  /// True when commit() would retire at least the head this cycle — the
+  /// idle-cycle fast-forward must not jump over such a cycle.
+  bool head_completed() const {
+    return rob_int_used_ + rob_fp_used_ > 0 &&
+           rob_[rob_head_seq_ & rob_mask_].completed;
+  }
+
  private:
   CoreState& state_;
   Obs& obs_;
 
-  // ROB: ring buffer with `rob_head_seq_` tracking the seq of the head.
+  // ROB: power-of-two ring buffer with `rob_head_seq_` tracking the seq of
+  // the head; `rob_mask_` maps a seq to its slot.
   std::vector<RobEntry> rob_;
+  std::uint64_t rob_mask_ = 0;
   std::uint64_t rob_head_seq_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint32_t rob_int_used_ = 0;

@@ -40,15 +40,16 @@ class CopyNetwork {
   /// copy micro-op aged with the dispatching consumer's `seq`. Returns false
   /// when the producer's copy queue is full (dispatch must stall).
   bool request_copy(Tag tag, std::uint32_t cluster, std::uint64_t seq) {
-    Value& v = state_.values[tag];
-    VCSTEER_DCHECK((v.copy_mask & cluster_bit(cluster)) == 0 &&
-                   v.home != cluster);
-    ClusterState& producer = state_.clusters[v.home];
+    const std::uint8_t home = state_.values.home(tag);
+    const bool fp = state_.values.fp(tag);
+    VCSTEER_DCHECK((state_.values.copy_mask(tag) & cluster_bit(cluster)) == 0 &&
+                   home != cluster);
+    ClusterState& producer = state_.clusters[home];
     if (producer.copy_used >= state_.config.iq_copy_entries) return false;
-    std::uint32_t& target_regs = v.fp ? state_.clusters[cluster].regs_used_fp
-                                      : state_.clusters[cluster].regs_used_int;
+    std::uint32_t& target_regs = fp ? state_.clusters[cluster].regs_used_fp
+                                    : state_.clusters[cluster].regs_used_int;
     const std::uint32_t target_cap =
-        v.fp ? state_.config.regfile_fp : state_.config.regfile_int;
+        fp ? state_.config.regfile_fp : state_.config.regfile_int;
     if (target_regs >= target_cap) return false;
 
     const std::uint32_t idx = producer.iq_copy.alloc();
@@ -58,20 +59,21 @@ class CopyNetwork {
     e.seq = seq;  // age relative to the dispatching consumer
     e.tie = state_.copy_ties++;
     ++producer.copy_used;
-    v.copy_mask |= cluster_bit(cluster);
+    state_.values.add_copy(tag, cluster);
     ++target_regs;
     ++state_.stats.copies_generated;
     if constexpr (Obs::enabled) {
       obs_.on_copy_request(
-          CopyRequestEvent{tag, v.home, cluster, seq, state_.cycle});
+          CopyRequestEvent{tag, home, cluster, seq, state_.cycle});
     }
-    if ((v.avail_mask & cluster_bit(v.home)) != 0) {
+    if ((state_.values.avail_mask(tag) & cluster_bit(home)) != 0) {
       // Source already sits in the producer's register file: selectable from
       // the cycle after dispatch (issue precedes dispatch within a cycle).
-      e.ready_at = std::max(v.avail_cycle[v.home] + 1, state_.cycle + 1);
+      e.ready_at =
+          std::max(state_.values.avail_cycle(tag, home) + 1, state_.cycle + 1);
       producer.iq_copy.ready_insert(idx);
     } else {
-      state_.add_waiter(tag, v.home, WaiterKind::kCopy, idx);
+      state_.add_waiter(tag, home, WaiterKind::kCopy, idx);
     }
     return true;
   }
@@ -108,7 +110,8 @@ class CopyNetwork {
       }
       state_.completions.push(Completion{crossed + 1, kCopySeq, e.src_tag,
                                          e.to,
-                                         /*is_copy_arrival=*/true});
+                                         /*is_copy_arrival=*/true},
+                              state_.cycle);
       cl.iq_copy.ready_remove(idx);
       cl.iq_copy.release(idx);
       --cl.copy_used;

@@ -89,45 +89,94 @@ class ClusteredCoreT : public steer::SteerView {
                std::span<const std::uint64_t> warm_addrs = {},
                RunPhases* phases = nullptr) {
     using Clock = std::chrono::steady_clock;
-    reset();
-    policy.reset();
     Clock::time_point t0;
     if (phases != nullptr) t0 = Clock::now();
-    for (const std::uint64_t addr : warm_addrs) memory_.warm(addr);
+    begin_run(trace, policy, warm_addrs);
     Clock::time_point t1;
     if (phases != nullptr) {
       t1 = Clock::now();
       phases->warmup_s += std::chrono::duration<double>(t1 - t0).count();
     }
-    if constexpr (Obs::enabled) obs_.on_run_begin(state_);
-    while (!frontend_.drained(trace) || !commit_.empty()) {
-      if constexpr (Obs::enabled) obs_.on_cycle_begin(state_.cycle);
-      commit_.commit();
-      commit_.complete();
-      for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
-        backends_[c].issue();
-        copies_.issue(c);
-      }
-      steer_.dispatch(policy, *this);
-      frontend_.fetch(trace, state_.cycle, obs_);
-      // Occupancy bookkeeping for balance and copy-network diagnostics now
-      // lives in StatsObserver::on_cycle_end (same point of the cycle, same
-      // counters — bit-identical to the previously inlined loop).
-      if constexpr (Obs::enabled) obs_.on_cycle_end(state_);
-      ++state_.cycle;
-      VCSTEER_CHECK_MSG(state_.cycle < kCycleLimit, "simulator wedged");
-    }
-    state_.stats.cycles = state_.cycle;
-    state_.stats.memory = memory_.stats();
-    state_.stats.avoided_contended_links = policy.avoided_contended_links();
-    copies_.flush_stats();
-    if constexpr (Obs::enabled) obs_.on_run_end(state_);
+    while (!done()) step();
+    const SimStats stats = finish_run();
     if (phases != nullptr) {
       phases->simulate_s +=
           std::chrono::duration<double>(Clock::now() - t1).count();
     }
+    return stats;
+  }
+
+  // ----- stepwise run API (SimBatchT interleaves lanes through these) -----
+
+  /// Reset the core and the policy, warm the cache hierarchy, and arm the
+  /// run. Pair with step()-until-done() and finish_run(). run() is this
+  /// sequence with wall-clock bookkeeping; results are identical.
+  void begin_run(std::span<const workload::TraceEntry> trace,
+                 steer::SteeringPolicy& policy,
+                 std::span<const std::uint64_t> warm_addrs = {}) {
+    reset();
+    policy.reset();
+    trace_ = trace;
+    policy_ = &policy;
+    state_.track_stale_view = policy.uses_stale_view();
+    for (const std::uint64_t addr : warm_addrs) memory_.warm(addr);
+    if constexpr (Obs::enabled) obs_.on_run_begin(state_);
+  }
+
+  /// begin_run for a batched lane that shares another lane's simulation
+  /// point: adopts `warmed`'s cache contents (the donor must satisfy
+  /// memory().warm_compatible) instead of replaying the warm addresses —
+  /// bit-identical, since functional warming is deterministic.
+  void begin_run_prewarmed(std::span<const workload::TraceEntry> trace,
+                           steer::SteeringPolicy& policy,
+                           const mem::MemoryHierarchy& warmed) {
+    reset();
+    policy.reset();
+    trace_ = trace;
+    policy_ = &policy;
+    state_.track_stale_view = policy.uses_stale_view();
+    memory_.adopt_warm_state(warmed);
+    if constexpr (Obs::enabled) obs_.on_run_begin(state_);
+  }
+
+  /// True once the armed trace has fully fetched, dispatched and retired.
+  bool done() const { return frontend_.drained(trace_) && commit_.empty(); }
+
+  /// Advance one cycle (or jump a provably idle span when the observer
+  /// allows it). Caller loops until done().
+  void step() {
+    if constexpr (kSkipIdle) skip_idle_cycles(trace_);
+    if constexpr (Obs::enabled) obs_.on_cycle_begin(state_.cycle);
+    commit_.commit();
+    commit_.complete();
+    for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
+      backends_[c].issue();
+      copies_.issue(c);
+    }
+    steer_.dispatch(*policy_, *this);
+    frontend_.fetch(trace_, state_.cycle, obs_);
+    // Occupancy bookkeeping for balance and copy-network diagnostics now
+    // lives in StatsObserver::on_cycle_end (same point of the cycle, same
+    // counters — bit-identical to the previously inlined loop).
+    if constexpr (Obs::enabled) obs_.on_cycle_end(state_);
+    ++state_.cycle;
+    VCSTEER_CHECK_MSG(state_.cycle < kCycleLimit, "simulator wedged");
+  }
+
+  /// Finalize stats after done() and disarm the run; returns the stats.
+  SimStats finish_run() {
+    state_.stats.cycles = state_.cycle;
+    state_.stats.memory = memory_.stats();
+    state_.stats.avoided_contended_links = policy_->avoided_contended_links();
+    copies_.flush_stats();
+    if constexpr (Obs::enabled) obs_.on_run_end(state_);
+    policy_ = nullptr;
+    trace_ = {};
     return state_.stats;
   }
+
+  /// The run's cache hierarchy (warm-state donor for batched lanes).
+  const mem::MemoryHierarchy& memory() const { return memory_; }
 
   // --- SteerView (what the steering unit can inspect) ---
   std::uint32_t num_clusters() const override { return config_.num_clusters; }
@@ -148,7 +197,7 @@ class ClusteredCoreT : public steer::SteerView {
   int value_home(isa::ArchReg reg) const override {
     const Tag tag = state_.rename[isa::flat_reg(reg)];
     if (tag == kNoTag) return steer::kNoHome;
-    return state_.values[tag].home;
+    return state_.values.home(tag);
   }
   int value_home_stale(isa::ArchReg reg) const override {
     return state_.stale_home[isa::flat_reg(reg)];
@@ -157,14 +206,14 @@ class ClusteredCoreT : public steer::SteerView {
                         std::uint32_t cluster) const override {
     const Tag tag = state_.rename[isa::flat_reg(reg)];
     if (tag == kNoTag) return true;  // architected cold value: no copy needed
-    const Value& v = state_.values[tag];
-    return v.home == cluster ||
-           ((v.avail_mask | v.copy_mask) & cluster_bit(cluster));
+    return state_.values.home(tag) == cluster ||
+           ((state_.values.avail_mask(tag) | state_.values.copy_mask(tag)) &
+            cluster_bit(cluster));
   }
   bool value_in_flight(isa::ArchReg reg) const override {
     const Tag tag = state_.rename[isa::flat_reg(reg)];
     if (tag == kNoTag) return false;
-    return state_.values[tag].avail_mask == 0;  // producer not completed yet
+    return state_.values.avail_mask(tag) == 0;  // producer not completed yet
   }
   std::uint32_t copy_distance(std::uint32_t from,
                               std::uint32_t to) const override {
@@ -185,12 +234,89 @@ class ClusteredCoreT : public steer::SteerView {
  private:
   static constexpr std::uint64_t kCycleLimit = 1ULL << 40;  // hang detector
 
+  /// Idle-cycle fast-forward enabled only when the observer opted in
+  /// (Obs::cycle_skip_safe); observers recording per-cycle data keep the
+  /// full stepping. Results are bit-identical either way.
+  static constexpr bool kSkipIdle = [] {
+    if constexpr (requires { Obs::cycle_skip_safe; }) {
+      return static_cast<bool>(Obs::cycle_skip_safe);
+    } else {
+      return false;
+    }
+  }();
+
+  /// Fast-forward over provably idle cycles. A cycle can be jumped only
+  /// when every stage would be a no-op beyond bumping one stall counter:
+  /// nothing to fetch (trace drained or pipe full), ROB head not completed,
+  /// every IQ/copy ready list empty, no completion due, and dispatch either
+  /// has nothing ready (frontend-empty stall) or its head micro-op is
+  /// blocked on a pre-policy structural hazard — ROB or LSQ full — that
+  /// only a completion event can start clearing. Stalls the policy decides
+  /// (stall-over-steer) or that depend on the chosen cluster (IQ/regfile/
+  /// copy capacity) are never jumped: proving them constant would mean
+  /// invoking the policy. The jump target is the earliest cycle anything
+  /// changes — the next completion event or the cycle the oldest in-pipe
+  /// entry clears the pipe. Each skipped cycle would have burned exactly
+  /// one dispatch stall of the proven reason, so that counter is
+  /// bulk-added; the observer accounts its per-cycle accumulation through
+  /// on_cycles_skipped. SteeringPolicy::begin_cycle is not called on
+  /// jumped cycles (no policy observes idle cycles — the base hook is the
+  /// only implementation).
+  void skip_idle_cycles(std::span<const workload::TraceEntry> trace) {
+    if (frontend_.can_fetch(trace)) return;
+    if (commit_.head_completed()) return;
+    for (const ClusterState& cl : state_.clusters) {
+      if (cl.iq_int.ready_head() != kNilIdx ||
+          cl.iq_fp.ready_head() != kNilIdx ||
+          cl.iq_copy.ready_head() != kNilIdx) {
+        return;
+      }
+    }
+    const bool dispatch_ready = frontend_.has_ready(state_.cycle);
+    std::uint64_t* stall_counter = &state_.stats.frontend_empty;
+    if (dispatch_ready) {
+      const isa::MicroOp& uop = state_.program.uop(frontend_.front().uop);
+      const bool fp = isa::uses_fp_queue(uop.op);
+      // Dispatch checks the decode budget before any hazard; a zero-width
+      // decode kind stalls silently and is not provably counter-exact here.
+      if ((fp ? config_.decode_width_fp : config_.decode_width_int) == 0) {
+        return;
+      }
+      std::uint64_t* memo = steer_.head_stall_counter();
+      if (commit_.rob_full(fp)) {
+        stall_counter = &state_.stats.rob_stalls;
+      } else if (uop.is_mem() && commit_.lsq_full()) {
+        stall_counter = &state_.stats.lsq_stalls;
+      } else if (memo != nullptr && memo != &state_.stats.frontend_empty) {
+        // Last cycle's dispatch stalled on its first micro-op past the
+        // ROB/LSQ checks (policy / IQ / regfile / copy capacity), and the
+        // machine state feeding that verdict is frozen until the next
+        // event, so the identical stall repeats each jumped cycle. A
+        // frontend-empty memo is the one invalid carry-over: the head
+        // entry has since matured in the pipe, changing the verdict.
+        stall_counter = memo;
+      } else {
+        return;  // stall reason unknown without consulting the policy
+      }
+    }
+    std::uint64_t target = state_.completions.next_due(state_.cycle);
+    if (!dispatch_ready && !frontend_.pipe_empty()) {
+      target = std::min(target, frontend_.next_ready_cycle());
+    }
+    if (target == CompletionWheel::kNone || target <= state_.cycle) return;
+    const std::uint64_t skipped = target - state_.cycle;
+    *stall_counter += skipped;
+    if constexpr (Obs::enabled) obs_.on_cycles_skipped(state_, skipped);
+    state_.cycle = target;
+  }
+
   void reset() {
     memory_.reset();
     state_.reset();
     frontend_.reset();
     commit_.reset();
     copies_.reset();
+    steer_.reset();
   }
 
   MachineConfig config_;
@@ -204,6 +330,10 @@ class ClusteredCoreT : public steer::SteerView {
   CopyNetwork<Obs> copies_;
   SteerStage<Obs> steer_;
   std::vector<ClusterBackend<Obs>> backends_;
+
+  // Armed by begin_run for the stepwise API; cleared by finish_run.
+  std::span<const workload::TraceEntry> trace_{};
+  steer::SteeringPolicy* policy_ = nullptr;
 };
 
 /// The harness default: occupancy accumulation + steer provenance recorded

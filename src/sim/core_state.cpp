@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/kernels.hpp"
 #include "steer/policy.hpp"
 
 namespace vcsteer::sim {
@@ -29,114 +30,16 @@ void CoreState::reset() {
     c.inflight = 0;
     c.div_busy_until = 0;
   }
-  values.clear();
-  free_values.clear();
+  values.reset();
   waiter_nodes.clear();
   waiter_free.clear();
   copy_ties = 0;
-  rename.fill(kNoTag);
-  stale_home.fill(steer::kNoHome);
+  kern::ops().fill_u32(rename.data(), rename.size(), kNoTag);
+  kern::ops().fill_i32(stale_home.data(), stale_home.size(), steer::kNoHome);
   renamed_regs.clear();
-  while (!completions.empty()) completions.pop();
+  completions.reset();
   cycle = 0;
   stats = SimStats{};
-}
-
-Tag CoreState::alloc_value(std::uint8_t home, bool fp) {
-  Tag tag;
-  if (!free_values.empty()) {
-    tag = free_values.back();
-    free_values.pop_back();
-    values[tag] = Value{};
-  } else {
-    tag = static_cast<Tag>(values.size());
-    values.emplace_back();
-  }
-  values[tag].home = home;
-  values[tag].fp = fp;
-  return tag;
-}
-
-void CoreState::release_value(Tag tag) {
-  VCSTEER_DCHECK(tag < values.size());
-  const Value& v = values[tag];
-  // Every reader of this value has issued by the time its overwriter
-  // commits, so no queue entry can still be waiting on it.
-  VCSTEER_DCHECK(v.waiters == kNilIdx);
-  const std::uint8_t holders =
-      static_cast<std::uint8_t>(v.copy_mask | cluster_bit(v.home));
-  for (std::uint32_t c = 0; c < config.num_clusters; ++c) {
-    if ((holders & cluster_bit(c)) == 0) continue;
-    std::uint32_t& used =
-        v.fp ? clusters[c].regs_used_fp : clusters[c].regs_used_int;
-    VCSTEER_DCHECK(used > 0);
-    --used;
-  }
-  free_values.push_back(tag);
-}
-
-void CoreState::add_waiter(Tag tag, std::uint8_t cluster, WaiterKind kind,
-                           std::uint32_t entry) {
-  std::uint32_t node;
-  if (!waiter_free.empty()) {
-    node = waiter_free.back();
-    waiter_free.pop_back();
-  } else {
-    node = static_cast<std::uint32_t>(waiter_nodes.size());
-    waiter_nodes.emplace_back();
-  }
-  Value& v = values[tag];
-  Waiter& w = waiter_nodes[node];
-  w.entry = entry;
-  w.cluster = cluster;
-  w.kind = kind;
-  w.next = v.waiters;
-  v.waiters = node;
-}
-
-void CoreState::publish(Tag tag, std::uint8_t cluster, std::uint64_t avail) {
-  Value& v = values[tag];
-  v.avail_mask |= cluster_bit(cluster);
-  v.avail_cycle[cluster] = avail;
-  ClusterState& cl = clusters[cluster];
-  std::uint32_t* link = &v.waiters;
-  while (*link != kNilIdx) {
-    const std::uint32_t node = *link;
-    Waiter& w = waiter_nodes[node];
-    if (w.cluster != cluster) {
-      // Waiting for this value in another cluster (its own copy arrival or
-      // home completion); it stays chained until that publish.
-      link = &w.next;
-      continue;
-    }
-    *link = w.next;
-    waiter_free.push_back(node);
-    if (w.kind == WaiterKind::kCopy) {
-      CopyEntry& e = cl.iq_copy[w.entry];
-      // Wakeup this cycle, select no earlier than the next: there is no
-      // bypass into the copy network (see CopyNetwork::issue). Completions
-      // drain in their own cycle, so `avail` equals the current `cycle`;
-      // the max guards the contract should an event ever drain late.
-      e.ready_at = std::max(avail, cycle) + 1;
-      cl.iq_copy.ready_insert(w.entry);
-    } else {
-      SlotPool<IqEntry>& pool =
-          w.kind == WaiterKind::kIqFp ? cl.iq_fp : cl.iq_int;
-      IqEntry& e = pool[w.entry];
-      VCSTEER_DCHECK(e.waiting_srcs > 0);
-      if (--e.waiting_srcs == 0) pool.ready_insert(w.entry);
-    }
-  }
-}
-
-void CoreState::refresh_stale_view() {
-  for (const std::uint16_t flat : renamed_regs) {
-    const Tag tag = rename[flat];
-    // A renamed register always maps to a live value: the new tag cannot
-    // be freed before its own overwriter commits.
-    stale_home[flat] = values[tag].home;
-  }
-  renamed_regs.clear();
 }
 
 }  // namespace vcsteer::sim

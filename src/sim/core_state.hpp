@@ -25,7 +25,6 @@
 
 #include <array>
 #include <cstdint>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -33,32 +32,14 @@
 #include "common/config.hpp"
 #include "isa/uop.hpp"
 #include "program/program.hpp"
+#include "sim/kernels.hpp"
 #include "sim/stats.hpp"
+#include "sim/value_table.hpp"
 
 namespace vcsteer::sim {
 
-using Tag = std::uint32_t;
-constexpr Tag kNoTag = ~0u;
 /// Completion-queue seq marking a copy arrival (no ROB entry to complete).
 constexpr std::uint64_t kCopySeq = ~0ULL;
-/// Null link in the slot-pool ready lists and the value waiter chains.
-constexpr std::uint32_t kNilIdx = ~0u;
-
-inline std::uint8_t cluster_bit(std::uint32_t cluster) {
-  return static_cast<std::uint8_t>(1u << cluster);
-}
-
-/// A renamed value in flight or live in the register files.
-struct Value {
-  std::uint8_t home = 0;        ///< producing cluster.
-  std::uint8_t avail_mask = 0;  ///< bit c: ready in cluster c at avail_cycle[c].
-  std::uint8_t copy_mask = 0;   ///< bit c: replica present or under way.
-  bool fp = false;
-  /// Head of the waiter chain (CoreState::waiter_nodes): queue entries to
-  /// wake when this value is published in the cluster they wait in.
-  std::uint32_t waiters = kNilIdx;
-  std::array<std::uint64_t, kMaxClusters> avail_cycle{};
-};
 
 struct IqEntry {
   prog::UopId uop = prog::kInvalidUop;
@@ -109,9 +90,10 @@ class SlotPool {
   }
 
   void reset() {
-    free_.clear();
-    for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i > 0;)
-      free_.push_back(--i);
+    // Refill the free list with size-1 .. 0 (alloc pops from the back, so
+    // the lowest slot is handed out first) through the dispatched kernel.
+    free_.resize(slots_.size());
+    kern::ops().iota_rev_u32(free_.data(), free_.size());
     head_ = tail_ = kNilIdx;
   }
 
@@ -195,7 +177,101 @@ struct Completion {
   Tag tag;               ///< value made available.
   std::uint8_t cluster;  ///< where it becomes available.
   bool is_copy_arrival;
-  bool operator>(const Completion& other) const { return cycle > other.cycle; }
+};
+
+/// Timing wheel holding pending Completions, replacing a binary heap: push
+/// and drain are O(1) amortised with no comparison sorting. A power-of-two
+/// ring of per-cycle FIFO buckets covers the near future (the longest event
+/// horizon is one memory round trip, ~500 cycles, plus port waits — well
+/// under kBuckets); anything further lands in a far-overflow vector that is
+/// rescanned every kBuckets/2 cycles, long before its bucket could alias.
+/// Correctness relies on the simulator's contract that every event is
+/// pushed with cycle > now and every cycle's bucket is drained exactly at
+/// that cycle (CommitUnit::complete runs every cycle). Same-cycle events
+/// drain in push order instead of heap order — result-identical, since the
+/// ready lists they feed are sorted by unique select keys and every other
+/// effect of a publish commutes; the golden suite pins this.
+class CompletionWheel {
+ public:
+  void reset() {
+    for (auto& b : buckets_) b.clear();
+    far_.clear();
+    ring_pending_ = 0;
+    min_due_ = 0;
+  }
+
+  /// Queue `c` (with c.cycle > now) for the drain at cycle c.cycle.
+  void push(const Completion& c, std::uint64_t now) {
+    VCSTEER_DCHECK(c.cycle > now);
+    if (c.cycle - now < kBuckets) {
+      buckets_[c.cycle & kMask].push_back(c);
+      ++ring_pending_;
+      if (c.cycle < min_due_) min_due_ = c.cycle;
+    } else {
+      far_.push_back(c);
+    }
+  }
+
+  /// The FIFO of events due exactly at `now`. Also migrates far-overflow
+  /// events whose horizon has come within the ring. The caller iterates the
+  /// returned bucket (publishes never push new completions) and clears it;
+  /// the handout itself retires the events from the pending count.
+  std::vector<Completion>& due(std::uint64_t now) {
+    if (!far_.empty() && (now & (kBuckets / 2 - 1)) == 0) migrate(now);
+    std::vector<Completion>& bucket = buckets_[now & kMask];
+    ring_pending_ -= bucket.size();
+    return bucket;
+  }
+
+  /// No pending event within the probe horizon of next_due().
+  static constexpr std::uint64_t kNone = ~0ULL;
+
+  /// Earliest cycle >= now with a pending event, for the idle-cycle
+  /// fast-forward (ClusteredCoreT::skip_idle_cycles). Migrates far events
+  /// eagerly so the answer is exact within the ring; with events still
+  /// beyond the horizon it returns a conservative re-probe cycle instead of
+  /// kNone, so the caller never skips past them.
+  ///
+  /// `min_due_` is a lower bound on every pending ring event (pushes and
+  /// migrations only lower it; the scan only raises it across buckets it
+  /// proved empty), so each probe resumes where the last one stopped
+  /// instead of rescanning from `now` — without it, a core sleeping on a
+  /// memory-latency event walks hundreds of empty buckets per probe.
+  std::uint64_t next_due(std::uint64_t now) {
+    if (!far_.empty()) migrate(now);
+    if (ring_pending_ == 0) return far_.empty() ? kNone : now + kBuckets / 2;
+    const std::uint64_t limit = far_.empty() ? kBuckets : kBuckets / 2;
+    for (std::uint64_t d = min_due_ > now ? min_due_ - now : 0; d < limit;
+         ++d) {
+      if (!buckets_[(now + d) & kMask].empty()) {
+        min_due_ = now + d;
+        return now + d;
+      }
+    }
+    return far_.empty() ? kNone : now + limit;
+  }
+
+ private:
+  static constexpr std::uint64_t kBuckets = 2048;
+  static constexpr std::uint64_t kMask = kBuckets - 1;
+
+  void migrate(std::uint64_t now) {
+    std::size_t kept = 0;
+    for (const Completion& c : far_) {
+      if (c.cycle - now < kBuckets) {
+        buckets_[c.cycle & kMask].push_back(c);
+        ++ring_pending_;
+        if (c.cycle < min_due_) min_due_ = c.cycle;
+      } else {
+        far_[kept++] = c;
+      }
+    }
+    far_.resize(kept);
+  }
+  std::array<std::vector<Completion>, kBuckets> buckets_;
+  std::vector<Completion> far_;
+  std::size_t ring_pending_ = 0;   ///< events in the ring, not yet handed out.
+  std::uint64_t min_due_ = 0;      ///< lower bound on pending ring events.
 };
 
 /// Which queue a waiter's entry index refers to.
@@ -210,15 +286,12 @@ struct CoreState {
   void reset();
 
   // ----- value tracking -----
-  Tag alloc_value(std::uint8_t home, bool fp);
+  Tag alloc_value(std::uint8_t home, bool fp) {
+    return values.alloc(home, fp);
+  }
   /// Frees the physical register in the home cluster and in every cluster
   /// holding (or about to receive) a replica.
   void release_value(Tag tag);
-  bool value_ready_in(const Value& v, std::uint32_t cluster,
-                      std::uint64_t cycle) const {
-    return (v.avail_mask & cluster_bit(cluster)) != 0 &&
-           v.avail_cycle[cluster] <= cycle;
-  }
 
   // ----- event-driven wakeup -----
   /// Register queue entry `entry` (a `kind` slot in `cluster`) to be woken
@@ -234,8 +307,13 @@ struct CoreState {
   // ----- stale rename view (parallel-steering ablation) -----
   /// Record that architectural register `flat` was renamed this dispatch
   /// cycle; the stale view picks the change up at the next cycle's
-  /// refresh_stale_view().
-  void note_renamed(std::uint16_t flat) { renamed_regs.push_back(flat); }
+  /// refresh_stale_view(). Only the parallel-steering ablation reads the
+  /// stale view (SteeringPolicy::uses_stale_view), so the run arms
+  /// `track_stale_view` per policy and every other scheme pays neither the
+  /// delta recording here nor the per-cycle apply.
+  void note_renamed(std::uint16_t flat) {
+    if (track_stale_view) renamed_regs.push_back(flat);
+  }
   /// Apply the previous dispatch cycle's rename deltas to stale_home —
   /// O(renames last cycle) instead of re-snapshotting the whole table.
   void refresh_stale_view();
@@ -257,8 +335,8 @@ struct CoreState {
   const prog::Program& program;
 
   std::vector<ClusterState> clusters;
-  std::vector<Value> values;
-  std::vector<Tag> free_values;
+  /// SoA per-value state (sim/value_table.hpp); owns the tag free list.
+  ValueTable values;
 
   /// Waiter chain nodes, pooled across all values (free-listed; grows to
   /// the run's high-water mark once and is then churn-free).
@@ -281,13 +359,101 @@ struct CoreState {
   /// `renamed_regs`.
   std::array<int, isa::kNumFlatRegs> stale_home{};
   std::vector<std::uint16_t> renamed_regs;
+  /// Armed by begin_run when the active policy reads the stale view.
+  bool track_stale_view = false;
 
-  std::priority_queue<Completion, std::vector<Completion>,
-                      std::greater<Completion>>
-      completions;
+  CompletionWheel completions;
 
   std::uint64_t cycle = 0;
   SimStats stats;
 };
+
+// The wakeup/select primitives below run for nearly every dispatched or
+// completed uop; they are defined inline so the cycle loop does not pay a
+// cross-TU call per uop (measurable on the fig5 smoke sweep).
+
+inline void CoreState::release_value(Tag tag) {
+  VCSTEER_DCHECK(tag < values.size());
+  // Every reader of this value has issued by the time its overwriter
+  // commits, so no queue entry can still be waiting on it.
+  VCSTEER_DCHECK(values.waiters(tag) == kNilIdx);
+  const bool fp = values.fp(tag);
+  const std::uint8_t holders = static_cast<std::uint8_t>(
+      values.copy_mask(tag) | cluster_bit(values.home(tag)));
+  for (std::uint32_t c = 0; c < config.num_clusters; ++c) {
+    if ((holders & cluster_bit(c)) == 0) continue;
+    std::uint32_t& used =
+        fp ? clusters[c].regs_used_fp : clusters[c].regs_used_int;
+    VCSTEER_DCHECK(used > 0);
+    --used;
+  }
+  values.free_tag(tag);
+}
+
+inline void CoreState::add_waiter(Tag tag, std::uint8_t cluster,
+                                  WaiterKind kind, std::uint32_t entry) {
+  std::uint32_t node;
+  if (!waiter_free.empty()) {
+    node = waiter_free.back();
+    waiter_free.pop_back();
+  } else {
+    node = static_cast<std::uint32_t>(waiter_nodes.size());
+    waiter_nodes.emplace_back();
+  }
+  Waiter& w = waiter_nodes[node];
+  w.entry = entry;
+  w.cluster = cluster;
+  w.kind = kind;
+  std::uint32_t& head = values.waiters(tag);
+  w.next = head;
+  head = node;
+}
+
+inline void CoreState::publish(Tag tag, std::uint8_t cluster,
+                               std::uint64_t avail) {
+  values.mark_avail(tag, cluster, avail);
+  ClusterState& cl = clusters[cluster];
+  std::uint32_t* link = &values.waiters(tag);
+  while (*link != kNilIdx) {
+    const std::uint32_t node = *link;
+    Waiter& w = waiter_nodes[node];
+    if (w.cluster != cluster) {
+      // Waiting for this value in another cluster (its own copy arrival or
+      // home completion); it stays chained until that publish.
+      link = &w.next;
+      continue;
+    }
+    *link = w.next;
+    waiter_free.push_back(node);
+    if (w.kind == WaiterKind::kCopy) {
+      CopyEntry& e = cl.iq_copy[w.entry];
+      // Wakeup this cycle, select no earlier than the next: there is no
+      // bypass into the copy network (see CopyNetwork::issue). Completions
+      // drain in their own cycle, so `avail` equals the current `cycle`;
+      // the max guards the contract should an event ever drain late.
+      e.ready_at = std::max(avail, cycle) + 1;
+      cl.iq_copy.ready_insert(w.entry);
+    } else {
+      SlotPool<IqEntry>& pool =
+          w.kind == WaiterKind::kIqFp ? cl.iq_fp : cl.iq_int;
+      IqEntry& e = pool[w.entry];
+      VCSTEER_DCHECK(e.waiting_srcs > 0);
+      if (--e.waiting_srcs == 0) pool.ready_insert(w.entry);
+    }
+  }
+}
+
+inline void CoreState::refresh_stale_view() {
+  if (renamed_regs.empty()) return;  // stall cycles leave no rename deltas
+  // A renamed register always maps to a live value (the new tag cannot be
+  // freed before its own overwriter commits), so the gather kernel never
+  // chases kNoTag. Duplicate registers in the delta list are idempotent:
+  // rename[] is already final for the cycle, so every store writes the
+  // same home.
+  kern::ops().stale_apply(renamed_regs.data(), renamed_regs.size(),
+                          rename.data(), values.home_data(),
+                          stale_home.data());
+  renamed_regs.clear();
+}
 
 }  // namespace vcsteer::sim

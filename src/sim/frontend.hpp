@@ -54,6 +54,15 @@ class FrontEnd {
     return !queue_.empty() && queue_.front().ready_cycle <= cycle;
   }
 
+  // ----- idle-cycle fast-forward probes (ClusteredCoreT::skip_idle_cycles) --
+  /// True when fetch would make progress this cycle.
+  bool can_fetch(std::span<const workload::TraceEntry> trace) const {
+    return trace_pos_ < trace.size() && !queue_.full();
+  }
+  bool pipe_empty() const { return queue_.empty(); }
+  /// Cycle the oldest in-pipe entry clears the pipe; pipe must be nonempty.
+  std::uint64_t next_ready_cycle() const { return queue_.front().ready_cycle; }
+
   const workload::TraceEntry& front() const { return queue_.front().entry; }
   void pop() { queue_.pop(); }
 

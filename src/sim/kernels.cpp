@@ -1,0 +1,220 @@
+#include "sim/kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define VCSTEER_HAVE_AVX2_BUILD 1
+#else
+#define VCSTEER_HAVE_AVX2_BUILD 0
+#endif
+
+namespace vcsteer::sim::kern {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. These define the semantics; the AVX2
+// versions below must match them bit-for-bit.
+// ---------------------------------------------------------------------------
+
+void fill_u64_scalar(std::uint64_t* dst, std::size_t n, std::uint64_t v) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+void fill_u32_scalar(std::uint32_t* dst, std::size_t n, std::uint32_t v) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+void fill_i32_scalar(std::int32_t* dst, std::size_t n, std::int32_t v) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+void iota_rev_u32_scalar(std::uint32_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint32_t>(n - 1 - i);
+  }
+}
+
+void stale_apply_scalar(const std::uint16_t* regs, std::size_t n,
+                        const std::uint32_t* rename, const std::uint8_t* home,
+                        std::int32_t* stale_home) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t r = regs[i];
+    stale_home[r] = static_cast<std::int32_t>(home[rename[r]]);
+  }
+}
+
+std::uint32_t active_mask_scalar(const std::uint8_t* done, std::size_t n) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i] == 0) mask |= 1u << i;
+  }
+  return mask;
+}
+
+constexpr Ops kScalarOps = {
+    "scalar",         fill_u64_scalar,    fill_u32_scalar,
+    fill_i32_scalar,  iota_rev_u32_scalar, stale_apply_scalar,
+    active_mask_scalar,
+};
+
+#if VCSTEER_HAVE_AVX2_BUILD
+// ---------------------------------------------------------------------------
+// AVX2 implementations. The whole binary is built without -mavx2 so these
+// carry per-function target attributes; they are only reachable after the
+// CPUID check in select().
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void fill_u64_avx2(std::uint64_t* dst,
+                                                   std::size_t n,
+                                                   std::uint64_t v) {
+  const __m256i vv = _mm256_set1_epi64x(static_cast<long long>(v));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vv);
+  }
+  for (; i < n; ++i) dst[i] = v;
+}
+
+__attribute__((target("avx2"))) void fill_u32_avx2(std::uint32_t* dst,
+                                                   std::size_t n,
+                                                   std::uint32_t v) {
+  const __m256i vv = _mm256_set1_epi32(static_cast<int>(v));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vv);
+  }
+  for (; i < n; ++i) dst[i] = v;
+}
+
+__attribute__((target("avx2"))) void fill_i32_avx2(std::int32_t* dst,
+                                                   std::size_t n,
+                                                   std::int32_t v) {
+  const __m256i vv = _mm256_set1_epi32(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vv);
+  }
+  for (; i < n; ++i) dst[i] = v;
+}
+
+__attribute__((target("avx2"))) void iota_rev_u32_avx2(std::uint32_t* dst,
+                                                       std::size_t n) {
+  // dst[i] = n-1-i: start at {n-1 .. n-8} and subtract 8 per step.
+  __m256i cur = _mm256_sub_epi32(
+      _mm256_set1_epi32(static_cast<int>(n) - 1),
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  const __m256i step = _mm256_set1_epi32(8);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), cur);
+    cur = _mm256_sub_epi32(cur, step);
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint32_t>(n - 1 - i);
+}
+
+__attribute__((target("avx2"))) void stale_apply_avx2(
+    const std::uint16_t* regs, std::size_t n, const std::uint32_t* rename,
+    const std::uint8_t* home, std::int32_t* stale_home) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Widen 8 u16 register ids, gather their rename tags, then gather the
+    // i32 word containing each tag's home byte and mask it out. The home
+    // array always has >= 3 bytes of allocated slack past the last live
+    // tag (kMaxClusters trailing rows in the value table), so the word
+    // gather never reads out of bounds.
+    const __m128i r16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(regs + i));
+    const __m256i ridx = _mm256_cvtepu16_epi32(r16);
+    const __m256i tags = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(rename), ridx, 4);
+    const __m256i homes = _mm256_and_si256(
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(home), tags, 1),
+        _mm256_set1_epi32(0xff));
+    alignas(32) std::int32_t h[8];
+    alignas(32) std::int32_t r[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(h), homes);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(r), ridx);
+    // Scatter needs AVX-512; 8 scalar stores keep the write order (and
+    // thus the last-writer-wins result on duplicate regs) identical to
+    // the scalar kernel.
+    for (int k = 0; k < 8; ++k) stale_home[r[k]] = h[k];
+  }
+  for (; i < n; ++i) {
+    const std::uint16_t r = regs[i];
+    stale_home[r] = static_cast<std::int32_t>(home[rename[r]]);
+  }
+}
+
+__attribute__((target("avx2"))) std::uint32_t active_mask_avx2(
+    const std::uint8_t* done, std::size_t n) {
+  if (n > 32) n = 32;
+  alignas(32) std::uint8_t buf[32];
+  std::memset(buf, 1, sizeof buf);
+  std::memcpy(buf, done, n);
+  const __m256i d = _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+  const std::uint32_t zero_bytes = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(d, _mm256_setzero_si256())));
+  return n == 32 ? zero_bytes : zero_bytes & ((1u << n) - 1);
+}
+
+constexpr Ops kAvx2Ops = {
+    "avx2",         fill_u64_avx2,    fill_u32_avx2, fill_i32_avx2,
+    iota_rev_u32_avx2, stale_apply_avx2, active_mask_avx2,
+};
+#endif  // VCSTEER_HAVE_AVX2_BUILD
+
+bool cpu_has_avx2() {
+#if VCSTEER_HAVE_AVX2_BUILD
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Ops* lookup(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return &kScalarOps;
+#if VCSTEER_HAVE_AVX2_BUILD
+  if (std::strcmp(name, "avx2") == 0 && cpu_has_avx2()) return &kAvx2Ops;
+#endif
+  return nullptr;
+}
+
+const Ops* select() {
+  if (const char* want = std::getenv("VCSTEER_KERNEL")) {
+    if (const Ops* forced = lookup(want)) return forced;
+    std::fprintf(stderr,
+                 "[vcsteer] VCSTEER_KERNEL=%s unavailable (unknown name or "
+                 "CPU lacks it); using scalar\n",
+                 want);
+    return &kScalarOps;
+  }
+#if VCSTEER_HAVE_AVX2_BUILD
+  if (cpu_has_avx2()) return &kAvx2Ops;
+#endif
+  return &kScalarOps;
+}
+
+const Ops* g_ops = nullptr;
+
+}  // namespace
+
+const Ops& ops() {
+  if (g_ops == nullptr) g_ops = select();
+  return *g_ops;
+}
+
+const char* selected_name() { return ops().name; }
+
+bool avx2_supported() { return cpu_has_avx2(); }
+
+bool select_for_testing(const char* name) {
+  const Ops* forced = lookup(name);
+  if (forced == nullptr) return false;
+  g_ops = forced;
+  return true;
+}
+
+}  // namespace vcsteer::sim::kern

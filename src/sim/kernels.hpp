@@ -1,0 +1,69 @@
+// Runtime-dispatched SIMD kernels for the simulator's lane-wide inner loops.
+//
+// The hot per-value state lives in SoA arrays (sim/value_table.hpp), and a
+// handful of loops over those arrays — table and rename-view resets, the
+// per-cycle stale-view delta apply, and the lane-active availability check
+// of the batched simulator (sim/sim_batch.hpp) — are worth vectorising.
+// Two implementations ship: a portable scalar fallback, and an AVX2 version
+// on x86-64. Which one runs is decided exactly once, at first use, from
+// CPUID (via __builtin_cpu_supports), overridable with VCSTEER_KERNEL=
+// scalar|avx2 in the environment. Both operate on integers only, so their
+// results are bit-identical by construction — the golden suite pins
+// scalar == AVX2 == pre-batch results, and tests flip the implementation
+// mid-process through select_for_testing().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vcsteer::sim::kern {
+
+/// The dispatch table: one function pointer per kernel. Resolved once; all
+/// call sites go through ops() so a run never mixes implementations.
+struct Ops {
+  const char* name;  ///< "scalar" or "avx2".
+
+  /// dst[0..n) = v. Backs the value-table and rename-table resets.
+  void (*fill_u64)(std::uint64_t* dst, std::size_t n, std::uint64_t v);
+  void (*fill_u32)(std::uint32_t* dst, std::size_t n, std::uint32_t v);
+  void (*fill_i32)(std::int32_t* dst, std::size_t n, std::int32_t v);
+
+  /// dst[0..n) = n-1, n-2, ..., 1, 0 — the slot-pool free-list refill
+  /// (pools hand out the lowest slot first by popping from the back).
+  void (*iota_rev_u32)(std::uint32_t* dst, std::size_t n);
+
+  /// Stale-rename-view delta apply: for each renamed register r in
+  /// regs[0..n), stale_home[r] = home[rename[r]]. Every r carries a live
+  /// tag (rename[r] != kNoTag) — the caller guarantees it. The AVX2 path
+  /// gathers 8 rename entries and 8 home bytes per step; stores stay
+  /// scalar (scatter needs AVX-512), which is where the guarantee matters:
+  /// both paths perform exactly the same loads and stores per element.
+  void (*stale_apply)(const std::uint16_t* regs, std::size_t n,
+                      const std::uint32_t* rename, const std::uint8_t* home,
+                      std::int32_t* stale_home);
+
+  /// Lane-availability check of the batched simulator: bit l of the result
+  /// is set when done[l] == 0, for n <= 32 lanes. One vector compare +
+  /// movemask under AVX2.
+  std::uint32_t (*active_mask)(const std::uint8_t* done, std::size_t n);
+};
+
+/// The selected dispatch table. First call resolves it: VCSTEER_KERNEL in
+/// the environment ("scalar" forces the fallback; "avx2" requests AVX2 and
+/// falls back loudly when the CPU lacks it), otherwise CPUID picks AVX2
+/// when available.
+const Ops& ops();
+
+/// Name of the selected implementation ("scalar"/"avx2") — surfaced in the
+/// benches' --summary-json so CI can assert which kernel a run used.
+const char* selected_name();
+
+/// True when this build/CPU can run the AVX2 kernels at all.
+bool avx2_supported();
+
+/// Test hook: force an implementation by name, bypassing the cached
+/// selection. Returns false (and changes nothing) for an unknown name or
+/// for "avx2" on a CPU without it. Tests use this to pin scalar == AVX2.
+bool select_for_testing(const char* name);
+
+}  // namespace vcsteer::sim::kern

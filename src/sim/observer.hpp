@@ -126,12 +126,24 @@ concept Observer = requires {
 /// instantiating one is a compile error instead of silent overhead.
 struct NullObserver {
   static constexpr bool enabled = false;
+  static constexpr bool cycle_skip_safe = true;
 };
 
 /// Empty implementations of every hook; enabled sinks derive from this and
 /// shadow the events they care about.
+///
+/// cycle_skip_safe opts an observer into the core's idle-cycle fast-forward
+/// (ClusteredCoreT::skip_idle_cycles): provably event-free cycles are
+/// jumped in one step and reported through on_cycles_skipped instead of
+/// firing per-cycle hooks. SimStats are bit-identical either way; only an
+/// observer's *own* per-cycle recordings could differ, so the base defaults
+/// to false and per-cycle recorders (CountingObserver, TimelineObserver)
+/// keep the full cycle-by-cycle view. An observer declaring true must make
+/// on_cycles_skipped reproduce whatever its per-cycle hooks would have
+/// accumulated over the span (see StatsObserver).
 struct ObserverBase {
   static constexpr bool enabled = true;
+  static constexpr bool cycle_skip_safe = false;
   void on_run_begin(const CoreState&) {}
   void on_cycle_begin(std::uint64_t /*cycle*/) {}
   void on_fetch(const FetchEvent&) {}
@@ -143,6 +155,9 @@ struct ObserverBase {
   void on_copy_inject(const CopyInjectEvent&) {}
   void on_commit(const CommitEvent&) {}
   void on_cycle_end(CoreState&) {}
+  /// `count` idle cycles ending just before CoreState::cycle were jumped;
+  /// cluster state was constant across them.
+  void on_cycles_skipped(CoreState&, std::uint64_t /*count*/) {}
   void on_run_end(const CoreState&) {}
 };
 
@@ -157,9 +172,19 @@ struct ObserverBase {
 /// harness::RunResult surfaces into the results JSON.
 class StatsObserver : public ObserverBase {
  public:
+  static constexpr bool cycle_skip_safe = true;
+
   void on_run_begin(const CoreState& state) {
     num_clusters_ = state.config.num_clusters;
-    iq_capacity_ = state.config.iq_int_entries + state.config.iq_fp_entries;
+    const std::uint32_t iq_capacity =
+        state.config.iq_int_entries + state.config.iq_fp_entries;
+    // Occupancy -> histogram bucket, precomputed: on_cycle_end runs for
+    // every stepped cycle and a divide per cluster is measurable there.
+    bucket_of_.assign(iq_capacity + 1, 0);
+    for (std::uint32_t occ = 0; occ <= iq_capacity; ++occ) {
+      bucket_of_[occ] = static_cast<std::uint8_t>(std::min(
+          kOccupancyBuckets - 1, occ * kOccupancyBuckets / iq_capacity));
+    }
     for (auto& h : hist_) h.fill(0);
     steered_with_copy_.fill(0);
     steered_local_.fill(0);
@@ -171,14 +196,26 @@ class StatsObserver : public ObserverBase {
       const std::uint32_t occ = cl.int_used + cl.fp_used;
       state.stats.occupancy_sum[c] += occ;
       state.stats.copyq_occupancy_sum[c] += cl.copy_used;
-      const std::uint32_t bucket = std::min(
-          kOccupancyBuckets - 1, occ * kOccupancyBuckets / iq_capacity_);
-      ++hist_[c][bucket];
+      ++hist_[c][bucket_of_[occ]];
     }
   }
 
   void on_steer(const SteerEvent& e) {
     ++(e.num_copies != 0 ? steered_with_copy_ : steered_local_)[e.cluster];
+  }
+
+  /// Bulk form of on_cycle_end over a jumped idle span: occupancies were
+  /// constant, so the span contributes count x the per-cycle amounts —
+  /// bit-identical to having stepped every cycle.
+  void on_cycles_skipped(CoreState& state, std::uint64_t count) {
+    for (std::uint32_t c = 0; c < num_clusters_; ++c) {
+      const ClusterState& cl = state.clusters[c];
+      const std::uint32_t occ = cl.int_used + cl.fp_used;
+      state.stats.occupancy_sum[c] += static_cast<std::uint64_t>(occ) * count;
+      state.stats.copyq_occupancy_sum[c] +=
+          static_cast<std::uint64_t>(cl.copy_used) * count;
+      hist_[c][bucket_of_[occ]] += count;
+    }
   }
 
   /// hist(c)[b]: cycles cluster `c` spent with compute-IQ occupancy in
@@ -197,7 +234,7 @@ class StatsObserver : public ObserverBase {
 
  private:
   std::uint32_t num_clusters_ = 0;
-  std::uint32_t iq_capacity_ = 1;
+  std::vector<std::uint8_t> bucket_of_;
   std::array<std::array<std::uint64_t, kOccupancyBuckets>, kMaxClusters>
       hist_{};
   std::array<std::uint64_t, kMaxClusters> steered_with_copy_{};

@@ -38,6 +38,17 @@ class SteerStage {
         copies_(copies),
         obs_(obs) {}
 
+  void reset() { head_stall_counter_ = nullptr; }
+
+  /// The stall counter the last dispatch() bumped when its *first* micro-op
+  /// stalled (nullptr when anything dispatched or no stall occurred). While
+  /// the machine state is otherwise frozen — no fetch, no completion, no
+  /// ready issue-queue entry, no commit — the same head-of-line stall
+  /// repeats every cycle (SteeringPolicy::choose must not mutate externally
+  /// visible state, and every SteerView input is event-driven), so the
+  /// idle-cycle fast-forward can bulk-add this counter across the jump.
+  std::uint64_t* head_stall_counter() const { return head_stall_counter_; }
+
   /// One cycle of dispatch. `view` is the SteerView handed to the policy
   /// (the composed core, so policies see the whole machine).
   void dispatch(steer::SteeringPolicy& policy, const steer::SteerView& view) {
@@ -49,11 +60,12 @@ class SteerStage {
     const MachineConfig& config = state_.config;
     std::uint32_t int_budget = config.decode_width_int;
     std::uint32_t fp_budget = config.decode_width_fp;
+    head_stall_counter_ = nullptr;
+    dispatched_any_ = false;
 
     while (int_budget + fp_budget > 0) {
       if (!frontend_.has_ready(state_.cycle)) {
-        ++state_.stats.frontend_empty;
-        stall(StallReason::kFrontendEmpty);
+        stall(StallReason::kFrontendEmpty, state_.stats.frontend_empty);
         return;
       }
       const workload::TraceEntry entry = frontend_.front();
@@ -64,20 +76,17 @@ class SteerStage {
 
       // ROB slot of the right kind.
       if (commit_.rob_full(fp)) {
-        ++state_.stats.rob_stalls;
-        stall(StallReason::kRob);
+        stall(StallReason::kRob, state_.stats.rob_stalls);
         return;
       }
       if (uop.is_mem() && commit_.lsq_full()) {
-        ++state_.stats.lsq_stalls;
-        stall(StallReason::kLsq);
+        stall(StallReason::kLsq, state_.stats.lsq_stalls);
         return;
       }
 
       const steer::SteerDecision decision = policy.choose(uop, view);
       if (decision.is_stall()) {
-        ++state_.stats.policy_stalls;
-        stall(StallReason::kPolicy);
+        stall(StallReason::kPolicy, state_.stats.policy_stalls);
         return;
       }
       const auto c = static_cast<std::uint32_t>(decision.cluster);
@@ -88,8 +97,7 @@ class SteerStage {
       // Issue-queue slot in the chosen cluster — the paper's workload-balance
       // metric counts exactly these allocation stalls.
       if (state_.used_for(cl, uop.op) >= state_.iq_capacity(uop.op)) {
-        ++state_.stats.alloc_stalls;
-        stall(StallReason::kAllocFull);
+        stall(StallReason::kAllocFull, state_.stats.alloc_stalls);
         return;
       }
       // Inter-cluster copies for remote sources. All resource checks must
@@ -102,8 +110,9 @@ class SteerStage {
       for (std::uint8_t s = 0; s < uop.num_srcs; ++s) {
         const Tag tag = state_.rename[isa::flat_reg(uop.srcs[s])];
         if (tag == kNoTag) continue;
-        const Value& v = state_.values[tag];
-        if (v.home == c || ((v.avail_mask | v.copy_mask) & cluster_bit(c))) {
+        if (state_.values.home(tag) == c ||
+            ((state_.values.avail_mask(tag) | state_.values.copy_mask(tag)) &
+             cluster_bit(c))) {
           continue;
         }
         if (num_copies == 1 && copy_needed[0] == tag) continue;
@@ -114,14 +123,12 @@ class SteerStage {
       if (uop.has_dst) ++(dst_fp ? reg_need_fp : reg_need_int);
       std::array<std::uint32_t, kMaxClusters> copyq_need{};
       for (std::uint8_t k = 0; k < num_copies; ++k) {
-        const Value& v = state_.values[copy_needed[k]];
-        ++copyq_need[v.home];
-        ++(v.fp ? reg_need_fp : reg_need_int);
+        ++copyq_need[state_.values.home(copy_needed[k])];
+        ++(state_.values.fp(copy_needed[k]) ? reg_need_fp : reg_need_int);
       }
       if (cl.regs_used_int + reg_need_int > config.regfile_int ||
           cl.regs_used_fp + reg_need_fp > config.regfile_fp) {
-        ++state_.stats.regfile_stalls;
-        stall(StallReason::kRegfile);
+        stall(StallReason::kRegfile, state_.stats.regfile_stalls);
         return;
       }
       bool copies_ok = true;
@@ -132,8 +139,7 @@ class SteerStage {
         }
       }
       if (!copies_ok) {
-        ++state_.stats.copyq_stalls;
-        stall(StallReason::kCopyQueue);
+        stall(StallReason::kCopyQueue, state_.stats.copyq_stalls);
         return;
       }
       // Copy micro-ops are generated at this stage and consume decode/rename
@@ -143,14 +149,13 @@ class SteerStage {
       std::uint32_t copy_slots_int = 0;
       std::uint32_t copy_slots_fp = 0;
       for (std::uint8_t k = 0; k < num_copies; ++k) {
-        ++(state_.values[copy_needed[k]].fp ? copy_slots_fp : copy_slots_int);
+        ++(state_.values.fp(copy_needed[k]) ? copy_slots_fp : copy_slots_int);
       }
       {
         std::uint32_t need_int = copy_slots_int + (fp ? 0 : 1);
         std::uint32_t need_fp = copy_slots_fp + (fp ? 1 : 0);
         if (need_int > int_budget || need_fp > fp_budget) {
-          ++state_.stats.copy_bandwidth_stalls;
-          stall(StallReason::kCopyBandwidth);
+          stall(StallReason::kCopyBandwidth, state_.stats.copy_bandwidth_stalls);
           return;
         }
         int_budget -= copy_slots_int;  // the uop's own slot is taken below
@@ -161,7 +166,7 @@ class SteerStage {
       const std::uint64_t seq = commit_.next_seq();
       for (std::uint8_t k = 0; k < num_copies; ++k) {
         const std::uint32_t hops =
-            view.copy_distance(state_.values[copy_needed[k]].home, c);
+            view.copy_distance(state_.values.home(copy_needed[k]), c);
         ++state_.stats.remote_steers_by_hops[std::min(hops, kMaxClusters - 1)];
         const bool ok = copies_.request_copy(copy_needed[k], c, seq);
         VCSTEER_CHECK(ok);
@@ -207,7 +212,7 @@ class SteerStage {
         const Tag tag = inserted.src_tags[s];
         if (tag == kNoTag) continue;
         if (s == 1 && tag == inserted.src_tags[0]) continue;  // dual read
-        if ((state_.values[tag].avail_mask & cluster_bit(c)) != 0) continue;
+        if ((state_.values.avail_mask(tag) & cluster_bit(c)) != 0) continue;
         state_.add_waiter(tag, static_cast<std::uint8_t>(c), kind, slot);
         ++inserted.waiting_srcs;
       }
@@ -218,6 +223,7 @@ class SteerStage {
       VCSTEER_DCHECK(allocated == seq);
       (void)allocated;
       ++cl.inflight;
+      dispatched_any_ = true;
       ++state_.stats.dispatched_uops;
       ++state_.stats.dispatched_to[c];
       frontend_.pop();
@@ -231,7 +237,11 @@ class SteerStage {
   }
 
  private:
-  void stall(StallReason reason) {
+  /// Bump `counter` for this cycle's dispatch stall; when the stall hit the
+  /// cycle's first micro-op, remember the counter for head_stall_counter().
+  void stall(StallReason reason, std::uint64_t& counter) {
+    ++counter;
+    if (!dispatched_any_) head_stall_counter_ = &counter;
     if constexpr (Obs::enabled) {
       obs_.on_stall(StallEvent{reason, state_.cycle});
     }
@@ -242,6 +252,8 @@ class SteerStage {
   CommitUnit<Obs>& commit_;
   CopyNetwork<Obs>& copies_;
   Obs& obs_;
+  std::uint64_t* head_stall_counter_ = nullptr;
+  bool dispatched_any_ = false;
 };
 
 }  // namespace vcsteer::sim

@@ -85,6 +85,7 @@ class ParallelOpPolicy : public OpPolicy {
  public:
   explicit ParallelOpPolicy(const MachineConfig& config) : OpPolicy(config) {}
   std::string name() const override { return "OP-parallel"; }
+  bool uses_stale_view() const override { return true; }
 
  protected:
   int home_of(const SteerView& view, isa::ArchReg reg) const override;

@@ -139,6 +139,13 @@ class SteeringPolicy {
   /// SimStats::avoided_contended_links.
   virtual std::uint64_t avoided_contended_links() const { return 0; }
 
+  /// True when choose() reads SteerView::value_home_stale. The simulator
+  /// maintains the cycle-start rename snapshot (an every-cycle delta apply
+  /// on the dispatch path) only for such policies — the parallel-steering
+  /// ablation; everyone else skips the bookkeeping entirely. Policies that
+  /// delegate choose() to an inner policy must forward this too.
+  virtual bool uses_stale_view() const { return false; }
+
   virtual void reset() {}
   virtual std::string name() const = 0;
 };

@@ -570,6 +570,7 @@ TEST(ResultSink, JsonCarriesResultsAndTables) {
   EXPECT_NE(json.find("\"scheme\":\"MOD3\""), std::string::npos);
 }
 
+
 TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
   RunSummary s;
   s.bench = "fig7_fourcluster";
@@ -579,6 +580,11 @@ TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
   s.simulated = 0;
   s.cache_hits = 25;
   s.uops = 1500000;
+  s.lane_groups = 3;
+  s.batched_points = 12;
+  s.kernel = "scalar";
+  s.schemes["MOD3"] = {750000, 0.25};
+  s.schemes["VC-STEER"] = {750000, 0.5};
   s.launch_workers = 2;
   s.launch_max_retries = 2;
   WorkerStatus w0;
@@ -601,8 +607,17 @@ TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
   EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(json.find("\"sweep\":{\"points\":25,\"simulated\":0,"
                       "\"cache_hits\":25,\"skipped\":0,"
-                      "\"corrupt_recovered\":0,\"uops\":1500000}"),
+                      "\"corrupt_recovered\":0,\"uops\":1500000,"
+                      "\"lane_groups\":3,\"batched_points\":12}"),
             std::string::npos);
+  // Per-scheme attribution: each label carries its own uop count and
+  // simulate span so perf tooling stops dividing by one shared wall clock.
+  EXPECT_NE(json.find("\"schemes\":{\"MOD3\":{\"uops\":750000,"
+                      "\"simulate_s\":0.25}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"VC-STEER\":{\"uops\":750000,\"simulate_s\":0.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kernel\":\"scalar\""), std::string::npos);
   EXPECT_NE(json.find("\"launch\":{\"workers\":2,\"max_retries\":2,"
                       "\"ok\":true,\"failed_shards\":0"),
             std::string::npos);

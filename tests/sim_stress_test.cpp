@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "program/program.hpp"
 #include "sim/core.hpp"
+#include "sim/kernels.hpp"
+#include "sim/sim_batch.hpp"
 #include "sim/sim_context.hpp"
 #include "steer/simple_policies.hpp"
 #include "workload/profiles.hpp"
@@ -205,6 +208,146 @@ TEST(SimContextReuse, SchemeInterleavingLeaksNoState) {
 
   harness::TraceExperiment fresh(profile, machine, tiny_budget());
   expect_results_equal(vc_between, fresh.run(vc));
+}
+
+// ----- batched lane-parallel bit-identity ----------------------------------
+
+void expect_stats_equal(const sim::SimStats& a, const sim::SimStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.committed_uops, b.committed_uops);
+  EXPECT_EQ(a.dispatched_uops, b.dispatched_uops);
+  EXPECT_EQ(a.copies_generated, b.copies_generated);
+  EXPECT_EQ(a.alloc_stalls, b.alloc_stalls);
+  EXPECT_EQ(a.policy_stalls, b.policy_stalls);
+  EXPECT_EQ(a.rob_stalls, b.rob_stalls);
+  EXPECT_EQ(a.lsq_stalls, b.lsq_stalls);
+  for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
+    EXPECT_EQ(a.dispatched_to[c], b.dispatched_to[c]);
+    EXPECT_EQ(a.occupancy_sum[c], b.occupancy_sum[c]);
+  }
+}
+
+/// A deliberately degenerate lane config: width-1 pipes and 1-entry queues
+/// force the slot pools through their free lists every few cycles.
+MachineConfig degenerate_config() {
+  MachineConfig cfg = MachineConfig::two_cluster();
+  cfg.iq_int_entries = 1;
+  cfg.iq_fp_entries = 1;
+  cfg.iq_copy_entries = 1;
+  cfg.issue_width_int = 1;
+  cfg.issue_width_fp = 1;
+  cfg.issue_width_copy = 1;
+  cfg.decode_width_int = 2;
+  cfg.decode_width_fp = 1;
+  cfg.fetch_width = 1;
+  return cfg;
+}
+
+// Lanes with heterogeneous machine configs — one healthy, one degenerate
+// width-1/1-entry-queue — advanced through one interleaved SimBatch loop
+// must each reproduce their singleton run's bits exactly. Lanes share no
+// state, so the interleave (whatever the block size) cannot change results.
+TEST(SimBatch, HeterogeneousLanesMatchSingletonRuns) {
+  const MachineConfig healthy = MachineConfig::two_cluster();
+  const MachineConfig tiny = degenerate_config();
+  Bench bench({op_on(OpClass::kIntAlu, r(1), {r(0)}, 0),
+               op_on(OpClass::kIntAlu, r(2), {r(1)}, 1),
+               op_on(OpClass::kFpAdd, f(1), {f(1)}, 0),
+               op_on(OpClass::kLoad, r(4), {r(1)}, 0),
+               op_on(OpClass::kIntAlu, r(5), {r(4), r(2)}, 1)},
+              80);
+
+  const sim::SimStats healthy_alone = run_static(bench, healthy);
+  const sim::SimStats tiny_alone = run_static(bench, tiny);
+
+  sim::ClusteredCore healthy_core(healthy, *bench.program);
+  sim::ClusteredCore tiny_core(tiny, *bench.program);
+  steer::StaticFollowerPolicy healthy_policy("stress");
+  steer::StaticFollowerPolicy tiny_policy("stress");
+  sim::SimBatch batch;
+  batch.add_lane(healthy_core, healthy_policy, bench.trace);
+  batch.add_lane(tiny_core, tiny_policy, bench.trace);
+  batch.run();
+
+  expect_stats_equal(batch.lane(0).stats, healthy_alone);
+  expect_stats_equal(batch.lane(1).stats, tiny_alone);
+}
+
+// The scalar and AVX2 kernels must drive the batch to identical bits
+// (kernels are pure data-parallel helpers; selection is a startup-time
+// dispatch). Skips the AVX2 leg where the CPU lacks it.
+TEST(SimBatch, ScalarAndAvx2KernelsBitIdentical) {
+  Bench bench({op_on(OpClass::kIntAlu, r(1), {r(1)}, 0),
+               op_on(OpClass::kIntAlu, r(2), {r(1)}, 1),
+               op_on(OpClass::kLoad, r(3), {r(2)}, 0)},
+              60);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  const std::string previous = sim::kern::selected_name();
+
+  ASSERT_TRUE(sim::kern::select_for_testing("scalar"));
+  sim::ClusteredCore scalar_core(cfg, *bench.program);
+  steer::StaticFollowerPolicy scalar_policy("stress");
+  sim::SimBatch scalar_batch;
+  scalar_batch.add_lane(scalar_core, scalar_policy, bench.trace);
+  scalar_batch.run();
+
+  if (!sim::kern::avx2_supported()) {
+    ASSERT_TRUE(sim::kern::select_for_testing(previous.c_str()));
+    GTEST_SKIP() << "host CPU lacks AVX2";
+  }
+  ASSERT_TRUE(sim::kern::select_for_testing("avx2"));
+  sim::ClusteredCore avx2_core(cfg, *bench.program);
+  steer::StaticFollowerPolicy avx2_policy("stress");
+  sim::SimBatch avx2_batch;
+  avx2_batch.add_lane(avx2_core, avx2_policy, bench.trace);
+  avx2_batch.run();
+  ASSERT_TRUE(sim::kern::select_for_testing(previous.c_str()));
+
+  expect_stats_equal(scalar_batch.lane(0).stats, avx2_batch.lane(0).stats);
+}
+
+// run_batch over heterogeneous schemes must fan out results bit-identical
+// to singleton run() calls, regardless of the order schemes appear in the
+// batch, and a reused experiment's second batch must match its first
+// (the lane arenas reset in place, like the singleton SimContext arena).
+TEST(SimBatch, RunBatchMatchesSingletonAnyOrder) {
+  const workload::WorkloadProfile& profile =
+      *workload::find_profile("186.crafty");
+  const MachineConfig machine = MachineConfig::two_cluster();
+  const harness::SchemeSpec op{steer::Scheme::kOp, 0};
+  const harness::SchemeSpec vc{steer::Scheme::kVc, 2};
+  const harness::SchemeSpec ob{steer::Scheme::kOb, 0};
+
+  harness::TraceExperiment singleton(profile, machine, tiny_budget());
+  const harness::RunResult op_alone = singleton.run(op);
+  const harness::RunResult vc_alone = singleton.run(vc);
+  const harness::RunResult ob_alone = singleton.run(ob);
+
+  harness::TraceExperiment batched(profile, machine, tiny_budget());
+  const std::vector<harness::SchemeSpec> specs{op, vc, ob};
+  const std::vector<harness::RunResult> results = batched.run_batch(specs);
+  ASSERT_EQ(results.size(), 3u);
+  expect_results_equal(results[0], op_alone);
+  expect_results_equal(results[1], vc_alone);
+  expect_results_equal(results[2], ob_alone);
+
+  // Interleaved (rotated) scheme order: same per-scheme bits.
+  harness::TraceExperiment rotated(profile, machine, tiny_budget());
+  const std::vector<harness::SchemeSpec> rotated_specs{vc, ob, op};
+  const std::vector<harness::RunResult> rotated_results =
+      rotated.run_batch(rotated_specs);
+  ASSERT_EQ(rotated_results.size(), 3u);
+  expect_results_equal(rotated_results[0], vc_alone);
+  expect_results_equal(rotated_results[1], ob_alone);
+  expect_results_equal(rotated_results[2], op_alone);
+
+  // Arena reuse across batches: the second pass starts from resets, not
+  // reconstructions, and must reproduce the first bit-for-bit.
+  const std::vector<harness::RunResult> again = batched.run_batch(specs);
+  ASSERT_EQ(again.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_results_equal(again[i], results[i]);
+  }
 }
 
 }  // namespace
