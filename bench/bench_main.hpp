@@ -4,6 +4,7 @@
 // parser and one output path:
 //
 //   bench [--jobs N] [--smoke|--quick] [--seed S] [--shard I/N] [--launch N]
+//         [--connect ADDR] [--serve ADDR] [--client-id ID]
 //         [--cache-dir DIR] [--json FILE] [--summary-json FILE] [--csv]
 //
 //   --jobs N       worker threads for the sweep (default: all cores).
@@ -21,6 +22,19 @@
 //                  then run the in-process assembly pass — which is a pure
 //                  cache read when every shard succeeded. --jobs becomes
 //                  the total thread budget, split across the workers.
+//   --connect ADDR lease jobs from a vcsteer-sweepd at ADDR (unix:/path or
+//                  [tcp:]host:port) instead of static sharding: this process
+//                  pulls (trace, machine) jobs until the sweep drains, then
+//                  assembles the full result set from the server's store, so
+//                  every client writes byte-identical --json output. Results
+//                  live server-side: no --cache-dir, --shard, or --launch.
+//   --serve ADDR   own the service lifecycle: spawn a vcsteer-sweepd sibling
+//                  binary on ADDR (over --cache-dir), optionally spawn
+//                  --launch N re-exec'd `--connect` workers, pull jobs
+//                  itself, and shut the daemon down at the end. The summary
+//                  JSON's `net.workers` carries the per-worker jobs-pulled
+//                  tallies from the server.
+//   --client-id ID this worker's name in lease stats (default: wpid<pid>).
 //   --cache-dir D  on-disk result cache; warm re-runs skip simulation.
 //   --progress     per-job heartbeat lines on stderr (done/total, elapsed,
 //                  ETA) for long in-process sweeps, routed through
@@ -41,6 +55,10 @@
 //   return out.finish();        // writes --json/--summary-json files
 #pragma once
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -59,6 +77,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "harness/experiment.hpp"
+#include "net/client.hpp"
 #include "sim/kernels.hpp"
 
 namespace vcsteer::bench {
@@ -78,6 +97,9 @@ struct Options {
   std::uint32_t shard_count = 1;
   unsigned launch = 0;  // >= 2: spawn that many shard workers first
   std::string cache_dir;
+  std::string connect;    // --connect: lease jobs from this sweepd address
+  std::string serve;      // --serve: spawn a sweepd on this address first
+  std::string client_id;  // --client-id: name in server lease stats
   std::string json_path;
   std::string summary_json_path;
 
@@ -89,24 +111,46 @@ struct Options {
   bool tables_enabled() const { return shard_count == 1; }
 
   /// Command line for shard worker `i` of a --launch run: the bench's own
-  /// sweep-shaping flags plus the shard assignment. Output flags (--json,
-  /// --summary-json, --csv) stay with the parent — workers publish results
-  /// only through the shared cache directory. --jobs is the run's *total*
-  /// thread budget, split across the workers: forwarding it verbatim would
-  /// oversubscribe the machine N-fold under the all-cores default.
+  /// sweep-shaping flags plus either the static shard assignment or — under
+  /// --serve — the service connection (workers lease jobs instead of owning
+  /// a fixed slice). Output flags (--json, --summary-json, --csv) stay with
+  /// the parent — workers publish results only through the shared cache or
+  /// the server's store. --jobs is the run's *total* thread budget, split
+  /// across the workers: forwarding it verbatim would oversubscribe the
+  /// machine N-fold under the all-cores default.
   std::vector<std::string> worker_argv(unsigned i) const {
     const unsigned worker_jobs = std::max(1u, jobs / std::max(launch, 1u));
-    std::vector<std::string> argv = {exe, "--shard",
-                                     std::to_string(i) + "/" +
-                                         std::to_string(launch),
-                                     "--cache-dir", cache_dir,
-                                     "--jobs", std::to_string(worker_jobs)};
+    std::vector<std::string> argv = {exe};
+    if (!serve.empty()) {
+      argv.insert(argv.end(),
+                  {"--connect", serve, "--client-id", "w" + std::to_string(i)});
+    } else {
+      argv.insert(argv.end(),
+                  {"--shard",
+                   std::to_string(i) + "/" + std::to_string(launch),
+                   "--cache-dir", cache_dir});
+    }
+    argv.insert(argv.end(), {"--jobs", std::to_string(worker_jobs)});
     if (smoke) argv.push_back("--smoke");
     if (seed != 0) {
       argv.push_back("--seed");
       argv.push_back(std::to_string(seed));
     }
     return argv;
+  }
+
+  /// The id this process leases under; --client-id pins it for tests.
+  std::string effective_client_id() const {
+    return client_id.empty() ? "wpid" + std::to_string(::getpid())
+                             : client_id;
+  }
+
+  /// Path of the vcsteer-sweepd binary --serve spawns: a sibling of the
+  /// bench executable (both live in the build directory).
+  std::string sweepd_path() const {
+    const std::size_t slash = exe.rfind('/');
+    return slash == std::string::npos ? "vcsteer-sweepd"
+                                      : exe.substr(0, slash + 1) + "vcsteer-sweepd";
   }
 
   /// Test-only crash injection for the launcher's recovery path: when this
@@ -174,6 +218,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--smoke|--quick] [--seed S]\n"
                "          [--shard I/N] [--launch N] [--cache-dir DIR]\n"
+               "          [--connect ADDR] [--serve ADDR] [--client-id ID]\n"
                "          [--json FILE] [--summary-json FILE] [--csv]\n"
                "          [--progress]\n",
                bench_name.c_str());
@@ -234,6 +279,12 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
       opt.launch = static_cast<unsigned>(n);
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       opt.cache_dir = value(i);
+    } else if (std::strcmp(arg, "--connect") == 0) {
+      opt.connect = value(i);
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      opt.serve = value(i);
+    } else if (std::strcmp(arg, "--client-id") == 0) {
+      opt.client_id = value(i);
     } else if (std::strcmp(arg, "--json") == 0) {
       opt.json_path = value(i);
     } else if (std::strcmp(arg, "--summary-json") == 0) {
@@ -276,8 +327,88 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
       usage(opt.bench_name, 2);
     }
   }
+  if (!opt.connect.empty() && !opt.serve.empty()) {
+    std::fprintf(stderr, "%s: --connect and --serve are mutually exclusive\n",
+                 opt.bench_name.c_str());
+    usage(opt.bench_name, 2);
+  }
+  if (!opt.connect.empty() &&
+      (opt.shard_count > 1 || opt.launch >= 2 || !opt.cache_dir.empty())) {
+    std::fprintf(stderr,
+                 "%s: --connect replaces --shard/--launch/--cache-dir (jobs "
+                 "and results live on the server)\n",
+                 opt.bench_name.c_str());
+    usage(opt.bench_name, 2);
+  }
+  if (!opt.serve.empty()) {
+    if (opt.cache_dir.empty()) {
+      std::fprintf(stderr, "%s: --serve requires --cache-dir (the daemon's "
+                   "durable result store)\n",
+                   opt.bench_name.c_str());
+      usage(opt.bench_name, 2);
+    }
+    if (opt.shard_count > 1) {
+      std::fprintf(stderr, "%s: --serve cannot be combined with --shard\n",
+                   opt.bench_name.c_str());
+      usage(opt.bench_name, 2);
+    }
+  }
   return opt;
 }
+
+/// A spawned vcsteer-sweepd under --serve: fork/exec'd on construction via
+/// start(), SIGTERM'd and reaped on stop(). The daemon must already be
+/// accepting connections when start() returns (its listen socket is bound
+/// inside the SweepServer constructor, so one successful PING suffices).
+class ServerProcess {
+ public:
+  ~ServerProcess() { stop(); }
+
+  bool start(const Options& opt) {
+    const std::string path = opt.sweepd_path();
+    std::vector<std::string> argv = {path,        "--listen", opt.serve,
+                                     "--cache-dir", opt.cache_dir};
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      std::perror("fork");
+      return false;
+    }
+    if (pid_ == 0) {
+      std::vector<char*> cargv;
+      cargv.reserve(argv.size() + 1);
+      for (std::string& a : argv) cargv.push_back(a.data());
+      cargv.push_back(nullptr);
+      ::execv(path.c_str(), cargv.data());
+      std::fprintf(stderr, "exec %s failed: %s\n", path.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    // Readiness probe: the daemon binds before serving, so the first PING
+    // that gets through (the client reconnect-retries) proves liveness.
+    net::ClientOptions co;
+    co.connect = opt.serve;
+    co.reconnect_window_s = 10;
+    net::StoreClient probe(co);
+    if (!probe.ping()) {
+      std::fprintf(stderr, "vcsteer-sweepd on %s never answered PING\n",
+                   opt.serve.c_str());
+      stop();
+      return false;
+    }
+    return true;
+  }
+
+  void stop() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+};
 
 /// Runs the sweep (spawning/monitoring --launch shard workers first when
 /// requested), prints tables as they are added (text or CSV per --csv),
@@ -296,6 +427,9 @@ class Output {
   /// without an assembly pass. Then the in-process sweep runs — the
   /// assembly pass in launch mode, the only pass otherwise.
   exec::SweepResult run(const exec::SweepGrid& grid) {
+    if (!opt_.serve.empty() || !opt_.connect.empty()) {
+      return run_networked(grid);
+    }
     if (opt_.launch >= 2) {
       launch_report_ = run_workers();
       if (!launch_report_->ok) {
@@ -344,6 +478,79 @@ class Output {
   }
 
  private:
+  /// The sweep-service execution phase, both roles:
+  ///   --serve:   spawn the daemon (and optionally --launch N --connect
+  ///              workers), lease jobs alongside them, shut the daemon down.
+  ///   --connect: lease jobs from an already-running daemon.
+  /// Either way the run ends with an assembly pass that reads the complete
+  /// grid back from the server's store, so every participant emits
+  /// byte-identical results JSON — the same shape as a local --jobs 1 run.
+  exec::SweepResult run_networked(const exec::SweepGrid& grid) {
+    net_.enabled = true;
+    net_.role = opt_.serve.empty() ? "connect" : "serve";
+    net_.server = opt_.serve.empty() ? opt_.connect : opt_.serve;
+
+    if (!opt_.serve.empty()) {
+      if (!server_.start(opt_)) {
+        finish_summary(/*ok=*/false);
+        std::exit(1);
+      }
+      if (opt_.launch >= 2) {
+        launch_report_ = run_workers();
+        if (!launch_report_->ok) {
+          std::fprintf(stderr,
+                       "%s: %zu of %u service worker(s) failed after %u "
+                       "attempts each; skipping the assembly run\n",
+                       opt_.bench_name.c_str(),
+                       launch_report_->failed_workers(), opt_.launch,
+                       1 + kLaunchMaxRetries);
+          finish_summary(/*ok=*/false);
+          server_.stop();
+          std::exit(1);
+        }
+      }
+    }
+
+    net::ClientOptions co;
+    co.connect = net_.server;
+    net::StoreClient client(co);
+    net::NetResultStore store(&client);
+    const std::uint64_t sweep_id = exec::grid_fingerprint(grid, opt_.seed);
+    const std::size_t njobs = grid.profiles.size() * grid.machines.size();
+    net::NetJobQueue queue(&client, sweep_id, njobs,
+                           opt_.effective_client_id());
+
+    // Pull pass: lease and simulate jobs until the whole sweep drains
+    // (jobs other workers pulled are theirs; expired leases come to us).
+    exec::SweepOptions pull_opt = opt_.sweep_options();
+    pull_opt.cache_dir.clear();
+    pull_opt.store = &store;
+    pull_opt.queue = &queue;
+    const exec::SweepResult pulled = exec::run_sweep(grid, pull_opt);
+    record_execution(pulled);
+    net_.jobs_pulled = pulled.jobs_pulled;
+    std::fprintf(stderr, "%s: pulled %zu/%zu jobs from %s\n",
+                 opt_.bench_name.c_str(), pulled.jobs_pulled, njobs,
+                 net_.server.c_str());
+
+    // Assembly pass: the full grid from the server's store. Cells another
+    // worker simulated arrive as hits; if the server is unreachable the
+    // missing cells re-simulate locally — slower, still bit-identical.
+    exec::SweepOptions assemble = opt_.sweep_options();
+    assemble.cache_dir.clear();
+    assemble.store = &store;
+    exec::SweepResult sweep = exec::run_sweep(grid, assemble);
+    record(sweep);
+
+    client.stats(sweep_id, &net_.workers);
+    const net::StoreClient::Counters counters = client.counters();
+    net_.gets = counters.gets;
+    net_.puts = counters.puts;
+    net_.reconnects = counters.reconnects;
+    server_.stop();  // no-op in connect mode
+    return sweep;
+  }
+
   /// Spawns the --launch shard workers and relays their stderr line by
   /// line under a "[shard i]" prefix (each worker's progress dots arrive
   /// as one line: sweeps only newline-terminate them at the end).
@@ -391,6 +598,22 @@ class Output {
       if (!buffered[w].empty()) flush_line(w, buffered[w]);
     }
     return report;
+  }
+
+  /// Execution-only counters of a pull-pass sweep. Its *results* are not
+  /// recorded — the assembly pass records every point exactly once, so the
+  /// JSON output and point totals stay a pure function of the grid.
+  void record_execution(const exec::SweepResult& sweep) {
+    simulated_ += sweep.simulated;
+    cache_hits_ += sweep.cache_hits;
+    corrupt_ += sweep.cache_corrupt;
+    experiments_ += sweep.experiments;
+    lane_groups_ += sweep.lane_groups;
+    batched_points_ += sweep.batched_points;
+    phases_ += sweep.phases;
+    for (const auto& [label, span] : sweep.scheme_simulate_s) {
+      schemes_[label].simulate_s += span;
+    }
   }
 
   void record(const exec::SweepResult& sweep) {
@@ -460,6 +683,7 @@ class Output {
       summary.launch_max_retries = kLaunchMaxRetries;
       summary.shards = launch_report_->workers;
     }
+    summary.net = net_;
     std::ofstream os(opt_.summary_json_path);
     if (os) {
       exec::write_summary_json(os, summary);
@@ -475,6 +699,8 @@ class Output {
   exec::ResultSink sink_;
   std::chrono::steady_clock::time_point start_;
   std::optional<exec::LaunchReport> launch_report_;
+  ServerProcess server_;
+  exec::RunSummary::NetSummary net_;
   std::size_t points_ = 0;
   std::size_t simulated_ = 0;
   std::size_t cache_hits_ = 0;

@@ -14,6 +14,13 @@
 #             assembly run is a pure cache read
 #   launch    --launch 2 owns the shard lifecycle end to end and its
 #             assembly pass never re-simulates
+#   service   networked result store + work-stealing scheduler: two
+#             concurrent --connect clients leasing fig7 smoke jobs from one
+#             vcsteer-sweepd must emit results JSON byte-identical to a
+#             --jobs 1 local run, and a server SIGKILLed mid-sweep (via its
+#             deterministic --crash-after-leases knob) then restarted must
+#             still yield identical bytes, with the client's summary
+#             recording the reconnect (scripts/service_crash_test.sh)
 #   observe   observer layer: a fig7 smoke sweep's --summary-json carries
 #             per-phase timing spans and event counts, and the
 #             pipeline_viewer's event counts reconcile exactly with the
@@ -227,6 +234,12 @@ gate_shard() {
     'sweep["cache_hits"] == sweep["points"]'
 }
 
+gate_service() {
+  warn_if_not_release
+  bash "$ROOT/scripts/service_crash_test.sh" \
+    "$BUILD_DIR/fig7_fourcluster" "$BUILD_DIR/vcsteer-sweepd"
+}
+
 gate_launch() {
   warn_if_not_release
   local cache="$GATE_OUT/launch-cache"
@@ -247,7 +260,7 @@ gate_launch() {
     'ok' 'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
 }
 
-ALL_GATES=(tier1 golden batch ablation smoke shard launch observe perf)
+ALL_GATES=(tier1 golden batch ablation smoke shard launch service observe perf)
 if [[ $# -eq 0 ]]; then
   GATES=("${ALL_GATES[@]}")
 else

@@ -3,12 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <thread>
@@ -76,18 +78,42 @@ bool parse_fields(std::istream& is, FieldMap* out) {
   return true;
 }
 
+// Strict numeric parsing: the whole value must be consumed and in range.
+// A lenient strtoull/strtod would decode "12x9" as 12 and "" as 0 — a
+// garbled entry silently becoming a plausible result instead of kCorrupt.
+
+bool parse_u64_strict(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;  // no ws/sign
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_strict(const std::string& s, double* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;  // strtod would skip leading whitespace
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
 bool get_u64(const FieldMap& m, std::string_view name, std::uint64_t* out) {
   const auto it = m.find(name);
   if (it == m.end()) return false;
-  *out = std::strtoull(it->second.c_str(), nullptr, 10);
-  return true;
+  return parse_u64_strict(it->second, out);
 }
 
 bool get_double(const FieldMap& m, std::string_view name, double* out) {
   const auto it = m.find(name);
   if (it == m.end()) return false;
-  *out = std::strtod(it->second.c_str(), nullptr);
-  return true;
+  return parse_double_strict(it->second, out);
 }
 
 bool get_string(const FieldMap& m, std::string_view name, std::string* out) {
@@ -235,31 +261,46 @@ std::string cache_key(const workload::WorkloadProfile& p,
   return w.text();
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir,
+                         std::uint64_t (*hash_fn)(std::string_view))
+    : dir_(std::move(dir)), hash_fn_(hash_fn) {
   VCSTEER_CHECK_MSG(!dir_.empty(), "ResultCache needs a directory");
   std::filesystem::create_directories(dir_);
 }
 
-std::string ResultCache::path_for(const std::string& key) const {
-  char name[32];
-  std::snprintf(name, sizeof(name), "%016" PRIx64 ".result",
-                hash_seed(key));
+std::uint64_t ResultCache::hash_of(const std::string& key) const {
+  return hash_fn_ != nullptr ? hash_fn_(key) : hash_seed(key);
+}
+
+std::string ResultCache::path_for(const std::string& key,
+                                  unsigned probe) const {
+  char name[40];
+  if (probe == 0) {
+    std::snprintf(name, sizeof(name), "%016" PRIx64 ".result", hash_of(key));
+  } else {
+    std::snprintf(name, sizeof(name), "%016" PRIx64 ".c%u.result",
+                  hash_of(key), probe);
+  }
   return dir_ + "/" + name;
 }
 
-CacheLookup ResultCache::lookup(const std::string& key,
-                                harness::RunResult* out) const {
-  const std::string path = path_for(key);
+namespace {
+
+/// What one probe path holds relative to a probe key.
+enum class EntryProbe {
+  kAbsent,      ///< no file at this path
+  kOurs,        ///< stored key matches; `rest` holds the result text
+  kOther,       ///< a complete key section that belongs to a colliding key
+  kUnreadable,  ///< truncated/garbled key section — cannot tell whose
+};
+
+EntryProbe probe_entry(const std::string& path, const std::string& key,
+                       std::string* rest) {
   std::ifstream in(path);
-  if (!in) return CacheLookup::kMiss;
-  // A file exists for this key's hash: from here on, anything undecodable
-  // is a corrupt entry, not a plain miss. Deliberately NOT deleted here:
-  // the caller re-simulates and store() atomically renames the good entry
-  // over it, while a remove() could race a concurrent process that already
-  // re-published the point and destroy its fresh entry.
-  auto corrupt = [] { return CacheLookup::kCorrupt; };
+  if (!in) return EntryProbe::kAbsent;
   // The file is "<key lines> -- <result lines>"; the key section must match
-  // the probe exactly, else this is a hash collision or a stale format.
+  // the probe exactly, else this slot belongs to a hash collision (or is a
+  // stale format, which reads as kOther and ages out unused).
   std::string line, stored_key;
   bool found_sep = false;
   while (std::getline(in, line)) {
@@ -270,11 +311,56 @@ CacheLookup ResultCache::lookup(const std::string& key,
     stored_key += line;
     stored_key += '\n';
   }
-  if (!found_sep) return corrupt();  // truncated inside the key section
-  if (stored_key != key) return CacheLookup::kMiss;
+  if (!found_sep) return EntryProbe::kUnreadable;
+  if (stored_key != key) return EntryProbe::kOther;
+  if (rest != nullptr) {
+    rest->assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  return EntryProbe::kOurs;
+}
 
+}  // namespace
+
+CacheLookup ResultCache::lookup_text(const std::string& key,
+                                     std::string* text) const {
+  // Walk the collision chain. store_text() always publishes into the
+  // lowest non-kOther slot, so the first absent path proves the key is not
+  // stored anywhere — no gap can hide a later entry.
+  for (unsigned probe = 0; probe < kMaxCollisionProbes; ++probe) {
+    switch (probe_entry(path_for(key, probe), key, text)) {
+      case EntryProbe::kAbsent:
+        return CacheLookup::kMiss;
+      case EntryProbe::kOurs:
+        return CacheLookup::kHit;
+      case EntryProbe::kUnreadable:
+        // A file exists where this key would live but cannot be attributed:
+        // corrupt, not a miss. Deliberately NOT deleted here: the caller
+        // re-simulates and store() atomically renames the good entry over
+        // it, while a remove() could race a concurrent process that already
+        // re-published the point and destroy its fresh entry.
+        return CacheLookup::kCorrupt;
+      case EntryProbe::kOther:
+        continue;  // hash collision: probe the next suffixed sibling
+    }
+  }
+  return CacheLookup::kMiss;
+}
+
+CacheLookup ResultCache::lookup(const std::string& key,
+                                harness::RunResult* out) const {
+  std::string text;
+  const CacheLookup looked = lookup_text(key, &text);
+  if (looked != CacheLookup::kHit) return looked;
+  // Undecodable result text under a matching key is a corrupt entry
+  // (truncated/garbled value section), never a silent zero-filled hit.
+  return decode_result(text, out) ? CacheLookup::kHit : CacheLookup::kCorrupt;
+}
+
+bool decode_result(const std::string& text, harness::RunResult* out) {
+  std::istringstream in(text);
   FieldMap fields;
-  if (!parse_fields(in, &fields)) return corrupt();
+  if (!parse_fields(in, &fields)) return false;
   harness::RunResult r;
   if (!get_string(fields, "trace", &r.trace) ||
       !get_string(fields, "scheme", &r.scheme) ||
@@ -292,10 +378,10 @@ CacheLookup ResultCache::lookup(const std::string& key,
       !get_u64(fields, "cycles", &r.cycles) ||
       !get_u64(fields, "num_points", &r.num_points) ||
       !read_sim_stats(fields, "last_interval.", &r.last_interval)) {
-    return corrupt();  // truncated/garbled inside the result section
+    return false;  // truncated/garbled inside the result section
   }
   std::uint64_t num_clusters = 0;
-  if (!get_u64(fields, "num_clusters", &num_clusters)) return corrupt();
+  if (!get_u64(fields, "num_clusters", &num_clusters)) return false;
   r.num_clusters = static_cast<std::uint32_t>(num_clusters);
   for (std::uint32_t c = 0; c < sim::kMaxClusters; ++c) {
     const std::string idx = std::to_string(c);
@@ -306,22 +392,21 @@ CacheLookup ResultCache::lookup(const std::string& key,
         !get_u64(fields, "steered_with_copy." + idx,
                  &r.steered_with_copy[c]) ||
         !get_u64(fields, "steered_local." + idx, &r.steered_local[c])) {
-      return corrupt();
+      return false;
     }
     for (std::uint32_t b = 0; b < sim::kOccupancyBuckets; ++b) {
       if (!get_u64(fields,
                    "iq_occupancy_hist." + idx + "." + std::to_string(b),
                    &r.iq_occupancy_hist[c][b])) {
-        return corrupt();
+        return false;
       }
     }
   }
   *out = std::move(r);
-  return CacheLookup::kHit;
+  return true;
 }
 
-void ResultCache::store(const std::string& key,
-                        const harness::RunResult& result) const {
+std::string encode_result(const harness::RunResult& result) {
   FieldWriter w;
   w.field("trace", result.trace);
   w.field("scheme", result.scheme);
@@ -348,8 +433,31 @@ void ResultCache::store(const std::string& key,
               result.iq_occupancy_hist[c][b]);
     }
   }
+  return w.text();
+}
 
-  const std::string path = path_for(key);
+void ResultCache::store(const std::string& key,
+                        const harness::RunResult& result) const {
+  store_text(key, encode_result(result));
+}
+
+void ResultCache::store_text(const std::string& key,
+                             const std::string& text) const {
+  // Pick the publish slot: the lowest probe path that is absent, already
+  // ours, or unreadable (corrupt entries are replaceable — their owner will
+  // re-simulate either way). Slots holding a *different* valid key are
+  // skipped, so two hash-colliding keys stop evicting each other; if every
+  // slot in the bounded chain belongs to someone else, the last one is
+  // overwritten rather than growing the directory without bound.
+  unsigned target = kMaxCollisionProbes - 1;
+  for (unsigned probe = 0; probe < kMaxCollisionProbes; ++probe) {
+    if (probe_entry(path_for(key, probe), key, nullptr) !=
+        EntryProbe::kOther) {
+      target = probe;
+      break;
+    }
+  }
+  const std::string path = path_for(key, target);
   // Temp name unique per (process, thread): shard *processes* share the
   // cache directory, so a thread id alone could collide across them and
   // interleave two writers' bytes in one tmp file. The write is fsync'd
@@ -359,7 +467,7 @@ void ResultCache::store(const std::string& key,
   std::ostringstream tmp_name;
   tmp_name << path << ".tmp." << ::getpid() << "." << std::this_thread::get_id();
   const std::string tmp = tmp_name.str();
-  const std::string payload = key + "--\n" + w.text();
+  const std::string payload = key + "--\n" + text;
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return;  // cache is best-effort; failure to write is a miss later
   std::size_t off = 0;

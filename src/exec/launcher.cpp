@@ -23,6 +23,13 @@ struct Worker {
   int fd = -1;  // read end of the stderr pipe; -1 while not running
 };
 
+/// How often the monitor wakes up to reap exited workers when no pipe
+/// activity arrives. Exit detection must NOT depend on pipe EOF: a worker
+/// that closes its stderr keeps running past EOF, and a worker whose pipe
+/// write end leaked to a grandchild produces no EOF at all — both are
+/// caught by the periodic waitpid(WNOHANG) pass instead.
+constexpr int kReapPollMs = 50;
+
 /// Forks and execs one attempt with its stderr routed into a pipe whose
 /// read end lands in `w->fd`. Returns false when the pipe or fork itself
 /// fails (the attempt is still counted so retries stay bounded).
@@ -56,6 +63,11 @@ bool spawn_attempt(const std::vector<std::string>& args, Worker* w) {
     ::_exit(127);
   }
   ::close(fds[1]);
+  // Non-blocking reads: the monitor drains whatever is buffered and must
+  // never block on a pipe a grandchild still holds open after the worker
+  // itself has been reaped.
+  const int flags = ::fcntl(fds[0], F_GETFL);
+  if (flags >= 0) ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
   w->pid = pid;
   w->fd = fds[0];
   ++w->status.attempts;
@@ -110,30 +122,17 @@ LaunchReport launch_workers(const LaunchOptions& opt) {
     spawn_with_budget(opt, i, &workers[i]);
   }
 
-  // Event loop: a worker's pipe hitting EOF means its stderr is gone, which
-  // for these single-threaded-at-exit workers means the process is exiting
-  // (or dead); waitpid then gives the verdict and drives the retry decision.
-  std::vector<pollfd> pfds;
-  std::vector<std::size_t> pfd_owner;
+  // Event loop. Pipe readability only drives output streaming; worker exit
+  // is detected by a periodic waitpid(WNOHANG) pass so it never depends on
+  // the pipe reaching EOF — a worker that closes or redirects its stderr, or
+  // leaks the write end to a grandchild that outlives it, is still reaped
+  // promptly (the old blocking-waitpid-on-EOF design hung forever on the
+  // grandchild case and starved the monitor on the close-stderr case).
   char buf[4096];
-  for (;;) {
-    pfds.clear();
-    pfd_owner.clear();
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      if (workers[i].fd >= 0) {
-        pfds.push_back(pollfd{workers[i].fd, POLLIN, 0});
-        pfd_owner.push_back(i);
-      }
-    }
-    if (pfds.empty()) break;
-    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;  // poll itself failed; fall through and reap what exists
-    }
-    for (std::size_t p = 0; p < pfds.size(); ++p) {
-      if (pfds[p].revents == 0) continue;
-      Worker& w = workers[pfd_owner[p]];
+  // Drains whatever the pipe holds right now; returns true when the pipe is
+  // finished (EOF or unrecoverable error) and has been closed.
+  auto drain_pipe = [&](Worker& w) {
+    while (w.fd >= 0) {
       const ssize_t got = ::read(w.fd, buf, sizeof(buf));
       if (got > 0) {
         if (opt.on_output) {
@@ -142,25 +141,68 @@ LaunchReport launch_workers(const LaunchOptions& opt) {
         }
         continue;
       }
-      if (got < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      // EOF (or unreadable pipe): reap the attempt and decide on a retry.
-      ::close(w.fd);
+      if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      ::close(w.fd);  // EOF or unreadable pipe
       w.fd = -1;
+      return true;
+    }
+    return true;
+  };
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> pfd_owner;
+  for (;;) {
+    pfds.clear();
+    pfd_owner.clear();
+    bool any_running = false;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      any_running = any_running || workers[i].pid >= 0;
+      if (workers[i].fd >= 0 && workers[i].pid >= 0) {
+        pfds.push_back(pollfd{workers[i].fd, POLLIN, 0});
+        pfd_owner.push_back(i);
+      }
+    }
+    if (!any_running) break;
+    const int n = ::poll(pfds.empty() ? nullptr : pfds.data(),
+                         static_cast<nfds_t>(pfds.size()), kReapPollMs);
+    if (n < 0 && errno != EINTR) break;  // poll failed; reap what exists
+    if (n > 0) {
+      for (std::size_t p = 0; p < pfds.size(); ++p) {
+        if (pfds[p].revents != 0) drain_pipe(workers[pfd_owner[p]]);
+      }
+    }
+    // Reap pass: WNOHANG so a still-running worker (with or without a live
+    // pipe) never blocks the monitor or its siblings.
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      Worker& w = workers[i];
+      if (w.pid < 0) continue;
       int wait_status = 0;
       pid_t reaped;
       do {
-        reaped = ::waitpid(w.pid, &wait_status, 0);
+        reaped = ::waitpid(w.pid, &wait_status, WNOHANG);
       } while (reaped < 0 && errno == EINTR);
+      if (reaped == 0) continue;  // still running
       w.pid = -1;
       if (reaped < 0) {
         w.status.ok = false;
       } else {
         record_exit(wait_status, &w.status);
       }
+      if (w.fd >= 0) {
+        // Forward output the dead worker left in the pipe, then close it
+        // even when a grandchild still holds the write end — anything a
+        // straggler writes after its parent's verdict is not this
+        // worker's output.
+        drain_pipe(w);
+        if (w.fd >= 0) {
+          ::close(w.fd);
+          w.fd = -1;
+        }
+      }
       const bool will_retry =
           !w.status.ok && w.status.attempts < 1 + opt.max_retries;
       if (opt.on_attempt) opt.on_attempt(w.status, will_retry);
-      if (will_retry) spawn_with_budget(opt, pfd_owner[p], &w);
+      if (will_retry) spawn_with_budget(opt, i, &w);
     }
   }
 

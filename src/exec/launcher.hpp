@@ -5,9 +5,11 @@
 // spawn every shard by hand, notice when one dies, re-run it, then run the
 // assembly pass. launch_workers() owns that lifecycle instead: it forks and
 // execs every worker with its stderr on a pipe, streams worker output back
-// through a callback as it arrives, reaps workers as their pipes hit EOF,
-// and respawns any worker that exits non-zero or is killed by a signal, up
-// to a bounded retry count per worker.
+// through a callback as it arrives, reaps exited workers with a periodic
+// waitpid(WNOHANG) pass (never by waiting for pipe EOF, so a worker that
+// closes its stderr — or leaks the write end to a longer-lived grandchild —
+// cannot hang or starve the monitor), and respawns any worker that exits
+// non-zero or is killed by a signal, up to a bounded retry count per worker.
 //
 // Crash recovery composes with the result cache rather than duplicating it:
 // a respawned shard re-probes the shared cache, so work the dead attempt

@@ -64,6 +64,22 @@ void write_summary_json(std::ostream& os, const RunSummary& s) {
     }
     os << "]}";
   }
+  if (!s.net.enabled) {
+    os << ",\"net\":null";
+  } else {
+    os << ",\"net\":{\"server\":" << stats::json_quote(s.net.server)
+       << ",\"role\":" << stats::json_quote(s.net.role)
+       << ",\"jobs_pulled\":" << s.net.jobs_pulled
+       << ",\"gets\":" << s.net.gets << ",\"puts\":" << s.net.puts
+       << ",\"reconnects\":" << s.net.reconnects << ",\"workers\":{";
+    bool first = true;
+    for (const auto& [client, jobs] : s.net.workers) {
+      if (!first) os << ',';
+      first = false;
+      os << stats::json_quote(client) << ":" << jobs;
+    }
+    os << "}}";
+  }
   os << "}\n";
 }
 

@@ -70,6 +70,23 @@ struct RunSummary {
   unsigned launch_workers = 0;
   unsigned launch_max_retries = 0;
   std::vector<WorkerStatus> shards;
+  /// Sweep-service involvement (`--connect` / `--serve`); disabled means
+  /// the `net` JSON field is null.
+  struct NetSummary {
+    bool enabled = false;
+    std::string server;  ///< the --connect/--serve address
+    std::string role;    ///< "connect" or "serve"
+    /// Jobs this process leased from the server's work-stealing queue.
+    std::uint64_t jobs_pulled = 0;
+    /// This process's wire traffic (StoreClient counters).
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t reconnects = 0;
+    /// Per-client jobs-pulled tallies from the server (STATS) — every
+    /// leasing worker of the sweep, not just this process.
+    std::map<std::string, std::uint64_t> workers;
+  };
+  NetSummary net;
 };
 
 /// One-line JSON document:
@@ -81,7 +98,9 @@ struct RunSummary {
 ///    "schemes":{label:{"uops","simulate_s"}...},
 ///    "events":{"experiments","cycles","kernel"},
 ///    "launch":null | {"workers","max_retries","ok","failed_shards",
-///                     "shards":[{"shard","attempts","ok","exit_code","signal"}]}}
+///                     "shards":[{"shard","attempts","ok","exit_code","signal"}]},
+///    "net":null | {"server","role","jobs_pulled","gets","puts","reconnects",
+///                  "workers":{client-id:jobs-pulled...}}}
 void write_summary_json(std::ostream& os, const RunSummary& summary);
 
 class ResultSink {

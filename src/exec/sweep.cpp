@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
@@ -9,6 +10,8 @@
 #include <string_view>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/sim_batch.hpp"
 
@@ -16,9 +19,26 @@ namespace vcsteer::exec {
 
 namespace {
 
-/// Lane count for scheme coalescing: the explicit option wins, then the
-/// VCSTEER_BATCH environment variable ("off" or a count), then the
-/// sim-layer maximum. Always in [1, sim::kMaxBatchLanes].
+/// SweepOptions::cache_dir adapter: the on-disk ResultCache behind the
+/// ResultStore interface run_sweep's job loop talks to.
+class LocalStore final : public ResultStore {
+ public:
+  explicit LocalStore(std::string dir) : cache_(std::move(dir)) {}
+  CacheLookup lookup(const std::string& key,
+                     harness::RunResult* out) override {
+    return cache_.lookup(key, out);
+  }
+  void store(const std::string& key,
+             const harness::RunResult& result) override {
+    cache_.store(key, result);
+  }
+
+ private:
+  ResultCache cache_;
+};
+
+}  // namespace
+
 std::uint32_t resolve_batch_lanes(std::uint32_t requested) {
   std::uint32_t lanes = requested;
   if (lanes == 0) {
@@ -28,15 +48,42 @@ std::uint32_t resolve_batch_lanes(std::uint32_t requested) {
     } else if (std::string_view(env) == "off") {
       lanes = 1;
     } else {
-      const long parsed = std::strtol(env, nullptr, 10);
-      lanes = parsed >= 1 ? static_cast<std::uint32_t>(parsed) : 1;
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(env, &end, 10);
+      if (*env == '\0' || end == env || *end != '\0' || errno != 0 ||
+          parsed < 1) {
+        VCSTEER_LOG_WARN(
+            "VCSTEER_BATCH=\"%s\" is not \"off\" or a positive lane count; "
+            "running unbatched (1 lane)",
+            env);
+        lanes = 1;
+      } else {
+        lanes = static_cast<std::uint32_t>(
+            std::min<long>(parsed, sim::kMaxBatchLanes));
+      }
     }
   }
   return std::clamp<std::uint32_t>(
       lanes, 1, static_cast<std::uint32_t>(sim::kMaxBatchLanes));
 }
 
-}  // namespace
+std::uint64_t grid_fingerprint(const SweepGrid& grid,
+                               std::uint64_t seed_salt) {
+  std::string all;
+  for (const workload::WorkloadProfile& base : grid.profiles) {
+    workload::WorkloadProfile profile = base;
+    profile.seed_salt += seed_salt;
+    for (const MachineConfig& machine : grid.machines) {
+      for (const SweepScheme& scheme : grid.schemes) {
+        all += cache_key(profile, machine, scheme.spec, grid.budget,
+                         scheme.custom_tag);
+        all += '\x1f';  // unambiguous separator between point keys
+      }
+    }
+  }
+  return hash_seed(all);
+}
 
 SweepResult::SweepResult(std::size_t traces, std::size_t machines,
                          std::size_t schemes)
@@ -65,23 +112,33 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
   SweepResult result(grid.profiles.size(), grid.machines.size(),
                      grid.schemes.size());
 
-  std::optional<ResultCache> cache;
-  if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
+  VCSTEER_CHECK_MSG(opt.queue == nullptr || opt.shard_count == 1,
+                    "queue mode replaces --shard; use one or the other");
+
+  std::optional<LocalStore> local_store;
+  ResultStore* store = opt.store;
+  if (store == nullptr && !opt.cache_dir.empty()) {
+    local_store.emplace(opt.cache_dir);
+    store = &*local_store;
+  }
 
   // Shard assignment is a stable modulo over the expanded job list, so the
-  // same (grid, shard_count) always maps a job to the same shard.
+  // same (grid, shard_count) always maps a job to the same shard. In queue
+  // mode every job is nominally ours — the queue decides who runs what.
   auto in_shard = [&opt](std::size_t t, std::size_t m,
                          std::size_t machines) {
-    return (t * machines + m) % opt.shard_count == opt.shard_index;
+    return opt.queue != nullptr ||
+           (t * machines + m) % opt.shard_count == opt.shard_index;
   };
+  const std::size_t total_jobs =
+      grid.profiles.size() * grid.machines.size();
   std::size_t num_jobs = 0;
   for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
     for (std::size_t m = 0; m < grid.machines.size(); ++m) {
       if (in_shard(t, m, grid.machines.size())) ++num_jobs;
     }
   }
-  result.skipped = (grid.profiles.size() * grid.machines.size() - num_jobs) *
-                   grid.schemes.size();
+  result.skipped = (total_jobs - num_jobs) * grid.schemes.size();
   std::atomic<std::size_t> simulated{0};
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> cache_corrupt{0};
@@ -113,11 +170,11 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     std::vector<std::string> keys(grid.schemes.size());
     for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
       const SweepScheme& scheme = grid.schemes[s];
-      if (cache) {
+      if (store != nullptr) {
         keys[s] = cache_key(profile, machine, scheme.spec, grid.budget,
                             scheme.custom_tag);
         const Clock::time_point t0 = Clock::now();
-        const CacheLookup looked = cache->lookup(keys[s], &result.slot(t, m, s));
+        const CacheLookup looked = store->lookup(keys[s], &result.slot(t, m, s));
         job_phases.cache_io += seconds_since(t0);
         if (looked == CacheLookup::kHit) {
           cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -133,11 +190,11 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     if (!missing.empty()) {
       harness::TraceExperiment experiment(profile, machine, grid.budget);
       experiments.fetch_add(1, std::memory_order_relaxed);
-      const auto store = [&](std::size_t s, const harness::RunResult& out) {
+      const auto publish = [&](std::size_t s, const harness::RunResult& out) {
         simulated.fetch_add(1, std::memory_order_relaxed);
-        if (cache) {
+        if (store != nullptr) {
           const Clock::time_point t0 = Clock::now();
-          cache->store(keys[s], out);
+          store->store(keys[s], out);
           job_phases.cache_io += seconds_since(t0);
         }
       };
@@ -172,7 +229,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
         for (std::size_t g = begin; g < end; ++g) {
           const std::size_t s = batchable[g];
           result.slot(t, m, s) = std::move(outs[g - begin]);
-          store(s, result.slot(t, m, s));
+          publish(s, result.slot(t, m, s));
         }
       }
       for (const std::size_t s : singleton) {
@@ -185,7 +242,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
         } else {
           out = experiment.run(scheme.spec);
         }
-        store(s, out);
+        publish(s, out);
       }
       const harness::PhaseTimes& pt = experiment.phases();
       job_phases.trace_build += pt.trace_build_s;
@@ -209,7 +266,37 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     }
   };
 
-  if (opt.jobs <= 1 || num_jobs <= 1) {
+  std::atomic<std::size_t> jobs_pulled{0};
+  if (opt.queue != nullptr) {
+    // Pull mode: each worker thread leases jobs until the queue reports the
+    // sweep drained. Cells pulled by *other* workers stay default — the
+    // caller assembles them from the shared store afterwards.
+    auto pull_loop = [&] {
+      std::size_t job = 0;
+      while (opt.queue->acquire(&job)) {
+        VCSTEER_CHECK_MSG(job < total_jobs, "leased job index out of range");
+        jobs_pulled.fetch_add(1, std::memory_order_relaxed);
+        run_job(job / grid.machines.size(), job % grid.machines.size());
+        opt.queue->complete(job);
+      }
+    };
+    if (opt.jobs <= 1) {
+      pull_loop();
+    } else {
+      ThreadPool pool(static_cast<unsigned>(
+          std::min<std::size_t>(opt.jobs, total_jobs)));
+      std::vector<std::future<void>> futures;
+      const std::size_t workers =
+          std::min<std::size_t>(opt.jobs, total_jobs);
+      futures.reserve(workers);
+      for (std::size_t i = 0; i < workers; ++i) {
+        futures.push_back(pool.submit(pull_loop));
+      }
+      for (auto& f : futures) f.get();
+    }
+    result.skipped =
+        (total_jobs - jobs_pulled.load()) * grid.schemes.size();
+  } else if (opt.jobs <= 1 || num_jobs <= 1) {
     for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
       for (std::size_t m = 0; m < grid.machines.size(); ++m) {
         if (in_shard(t, m, grid.machines.size())) run_job(t, m);
@@ -230,6 +317,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt) {
     for (auto& f : futures) f.get();
   }
 
+  result.jobs_pulled = jobs_pulled.load();
   result.simulated = simulated.load();
   result.cache_hits = cache_hits.load();
   result.cache_corrupt = cache_corrupt.load();

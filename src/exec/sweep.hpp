@@ -56,11 +56,39 @@ struct SweepGrid {
   harness::SimBudget budget;
 };
 
+/// Source of sweep jobs for pull-mode scheduling. A job is the linear index
+/// `trace * num_machines + machine` into the grid's (trace, machine) cells.
+/// The sweep service's NetJobQueue leases jobs from vcsteer-sweepd so idle
+/// workers steal work from slow ones instead of being pinned to a static
+/// modulo shard; tests drive run_sweep with in-process queues.
+class JobQueue {
+ public:
+  virtual ~JobQueue() = default;
+  /// Blocks until a job is granted (true) or the sweep is drained — every
+  /// job completed, possibly by other workers (false). Called concurrently
+  /// from worker threads.
+  virtual bool acquire(std::size_t* job) = 0;
+  /// Marks `job` finished; its results are already in the result store.
+  virtual void complete(std::size_t job) = 0;
+};
+
 struct SweepOptions {
   /// Worker threads; 1 runs every job inline on the calling thread.
   unsigned jobs = 1;
-  /// Result-cache directory; empty disables caching.
+  /// Result-cache directory; empty disables caching. Ignored when `store`
+  /// is set.
   std::string cache_dir;
+  /// Result store override: probed before simulating and written after,
+  /// exactly like cache_dir, but through any ResultStore (e.g. the sweep
+  /// service's networked store). Not owned.
+  ResultStore* store = nullptr;
+  /// Pull-mode scheduling: when set, workers acquire() jobs from this queue
+  /// until it drains instead of enumerating the static shard. Jobs executed
+  /// here count into SweepResult::jobs_pulled; cells this worker never
+  /// pulled stay default-initialised (count in `skipped`) and are assembled
+  /// from the shared store afterwards. Requires shard_count == 1 (the queue
+  /// replaces sharding). Not owned.
+  JobQueue* queue = nullptr;
   /// Extra salt added to every profile's seed_salt (--seed): shifts the
   /// whole sweep to a different deterministic universe.
   std::uint64_t seed_salt = 0;
@@ -139,6 +167,9 @@ class SweepResult {
   /// or coalescing disabled).
   std::size_t lane_groups = 0;
   std::size_t batched_points = 0;
+  /// Jobs this run acquired from SweepOptions::queue (0 in static-shard
+  /// mode): the per-worker work-stealing tally surfaced in --summary-json.
+  std::size_t jobs_pulled = 0;
   /// Per-phase wall-clock spans, summed over all jobs of this run.
   PhaseSeconds phases;
   /// Simulate span per scheme label, summed over all jobs (cache-served
@@ -155,5 +186,18 @@ class SweepResult {
 };
 
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opt);
+
+/// Deterministic 64-bit identity of a sweep: the hash of every point's
+/// canonical cache key (profiles already salted with `seed_salt`). Clients
+/// leasing jobs from a vcsteer-sweepd use it as the sweep id, so two workers
+/// only share a lease queue when they would produce byte-identical grids.
+std::uint64_t grid_fingerprint(const SweepGrid& grid, std::uint64_t seed_salt);
+
+/// Lane count for scheme coalescing: the explicit `requested` wins, then the
+/// VCSTEER_BATCH environment variable ("off" or a lane count), then the
+/// sim-layer maximum. An unparseable VCSTEER_BATCH (empty, trailing garbage
+/// like "4x", negative) warns loudly and falls back to 1 lane — it never
+/// silently half-parses. Always returns a value in [1, sim::kMaxBatchLanes].
+std::uint32_t resolve_batch_lanes(std::uint32_t requested);
 
 }  // namespace vcsteer::exec

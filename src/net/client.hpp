@@ -1,0 +1,120 @@
+// Client side of the sweep service: a blocking, reconnecting frame channel
+// (StoreClient) plus the two adapters that plug it into run_sweep —
+// NetResultStore (exec::ResultStore over GET/PUT) and NetJobQueue
+// (exec::JobQueue over LEASE/DONE).
+//
+// Failure semantics: every request is retried through reconnect-with-backoff
+// for up to ClientOptions::reconnect_window_s (covering a sweepd restart
+// after a crash — the gate SIGKILLs the server mid-sweep and restarts it).
+// All verbs are safe to resend: GET/PUT are idempotent against the
+// fsync-rename cache, and a duplicated LEASE at worst double-grants a job
+// whose re-execution is bit-identical and whose store is atomic. If the
+// window is exhausted, NetResultStore degrades to kMiss/no-op (the worker
+// simulates locally and the run stays byte-identical, merely slower) and
+// NetJobQueue reports the queue drained so the caller falls through to its
+// assembly pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "exec/cache.hpp"
+#include "exec/sweep.hpp"
+#include "net/frame.hpp"
+
+namespace vcsteer::net {
+
+struct ClientOptions {
+  /// Server address: `unix:/path` or `[tcp:]host:port`.
+  std::string connect;
+  /// Total seconds a request keeps reconnect-retrying before giving up.
+  /// Covers a server SIGKILL + restart without failing the sweep.
+  double reconnect_window_s = 60.0;
+};
+
+/// Thread-safe (mutex-serialised) request/reply channel to a vcsteer-sweepd.
+class StoreClient {
+ public:
+  explicit StoreClient(const ClientOptions& opt);
+  ~StoreClient();
+  StoreClient(const StoreClient&) = delete;
+  StoreClient& operator=(const StoreClient&) = delete;
+
+  /// One framed round trip with reconnect-retry. False when the reconnect
+  /// window is exhausted (reply untouched).
+  bool request(std::string_view payload, std::string* reply);
+
+  bool ping();
+  /// GET: kHit fills result_text. A network failure reads as kMiss — the
+  /// caller simulates locally, which preserves byte-identity.
+  exec::CacheLookup get(const std::string& key, std::string* result_text);
+  bool put(const std::string& key, const std::string& result_text);
+
+  enum class LeaseReply { kJob, kWait, kEmpty, kError };
+  LeaseReply lease(std::uint64_t sweep_id, std::size_t njobs,
+                   const std::string& client_id, std::size_t* job);
+  bool done(std::uint64_t sweep_id, std::size_t job);
+  /// Per-client jobs-pulled tallies for the sweep (STATS).
+  bool stats(std::uint64_t sweep_id,
+             std::map<std::string, std::uint64_t>* pulls);
+
+  struct Counters {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t leases = 0;
+    std::uint64_t reconnects = 0;
+  };
+  Counters counters() const;
+
+ private:
+  bool connect_locked();
+  bool send_all_locked(std::string_view bytes);
+
+  ClientOptions opt_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  FrameReader reader_;
+  Counters counters_;
+};
+
+/// run_sweep result store backed by a sweepd: probes/publishes every point
+/// over GET/PUT instead of a local cache directory.
+class NetResultStore final : public exec::ResultStore {
+ public:
+  explicit NetResultStore(StoreClient* client) : client_(client) {}
+  exec::CacheLookup lookup(const std::string& key,
+                           harness::RunResult* out) override;
+  void store(const std::string& key,
+             const harness::RunResult& result) override;
+
+ private:
+  StoreClient* client_;
+};
+
+/// run_sweep job queue backed by a sweepd lease queue: acquire() polls
+/// LEASE (sleeping briefly on WAIT) until a job is granted or the sweep is
+/// drained; complete() sends DONE.
+class NetJobQueue final : public exec::JobQueue {
+ public:
+  NetJobQueue(StoreClient* client, std::uint64_t sweep_id, std::size_t njobs,
+              std::string client_id)
+      : client_(client),
+        sweep_id_(sweep_id),
+        njobs_(njobs),
+        client_id_(std::move(client_id)) {}
+
+  bool acquire(std::size_t* job) override;
+  void complete(std::size_t job) override;
+
+ private:
+  StoreClient* client_;
+  std::uint64_t sweep_id_;
+  std::size_t njobs_;
+  std::string client_id_;
+};
+
+}  // namespace vcsteer::net

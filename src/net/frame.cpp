@@ -1,0 +1,91 @@
+#include "net/frame.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace vcsteer::net {
+
+void append_frame(std::string* out, std::string_view payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char len[4] = {static_cast<char>(n & 0xff), static_cast<char>((n >> 8) & 0xff),
+                 static_cast<char>((n >> 16) & 0xff),
+                 static_cast<char>((n >> 24) & 0xff)};
+  out->append(len, 4);
+  out->append(payload);
+}
+
+bool FrameReader::next(std::string* payload) {
+  if (broken_) return false;
+  // Compact lazily: memmove the unconsumed tail only once it dominates the
+  // buffer, so draining many small frames stays linear.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+  const std::uint32_t n = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    broken_ = true;
+    return false;
+  }
+  if (avail < 4 + static_cast<std::size_t>(n)) return false;
+  payload->assign(buffer_, consumed_ + 4, n);
+  consumed_ += 4 + n;
+  return true;
+}
+
+bool parse_address(std::string_view text, Address* out, std::string* error) {
+  *out = Address{};
+  if (text.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->path = std::string(text.substr(5));
+    if (out->path.empty()) {
+      if (error) *error = "empty unix socket path";
+      return false;
+    }
+    return true;
+  }
+  std::string_view rest = text;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == rest.size()) {
+    if (error) {
+      *error = "address must be unix:/path or [tcp:]host:port, got \"" +
+               std::string(text) + "\"";
+    }
+    return false;
+  }
+  const std::string port_text(rest.substr(colon + 1));
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (*end != '\0' || errno != 0 || port == 0 || port > 65535) {
+    if (error) *error = "bad port \"" + port_text + "\"";
+    return false;
+  }
+  out->is_unix = false;
+  out->host = std::string(rest.substr(0, colon));
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+void split_verb_line(std::string_view payload, std::string_view* line,
+                     std::string_view* body) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    *line = payload;
+    *body = {};
+    return;
+  }
+  *line = payload.substr(0, nl);
+  *body = payload.substr(nl + 1);
+}
+
+}  // namespace vcsteer::net

@@ -1,0 +1,68 @@
+// Wire framing for the sweep service.
+//
+// Every message — request or reply — is one frame: a 4-byte little-endian
+// payload length followed by that many payload bytes. The payload is a verb
+// line (`VERB arg...\n`) optionally followed by a body (e.g. the cache-key
+// text of a GET, or `<key>--\n<result>` of a PUT). Length-prefixing makes
+// the stream self-delimiting: bodies may contain anything, including the
+// `--` separator and blank lines, without escaping.
+//
+// Frames are capped at kMaxFrameBytes; a peer announcing a larger frame is
+// protocol-broken (or hostile) and the connection is dropped rather than
+// buffering unbounded garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vcsteer::net {
+
+/// Hard per-frame cap. Cache entries are a few KiB; 16 MiB leaves three
+/// orders of magnitude of headroom while bounding a malicious length word.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Appends `payload` as one length-prefixed frame to `out`.
+void append_frame(std::string* out, std::string_view payload);
+
+/// Incremental frame decoder: feed() bytes as they arrive, next() yields
+/// complete payloads in order. Handles partial reads at any byte boundary.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Extracts the next complete frame into `payload`. Returns false when no
+  /// complete frame is buffered yet. Sets broken() instead when the peer
+  /// announced a frame above kMaxFrameBytes.
+  bool next(std::string* payload);
+
+  /// Peer violated the framing protocol; the connection must be dropped.
+  bool broken() const { return broken_; }
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool broken_ = false;
+};
+
+/// A parsed `unix:/path` or `tcp:host:port` (plain `host:port` also reads
+/// as TCP) listen/connect address.
+struct Address {
+  bool is_unix = false;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< tcp host
+  std::uint16_t port = 0;
+};
+
+/// Parses an address string; returns false (with *error set) on nonsense.
+bool parse_address(std::string_view text, Address* out, std::string* error);
+
+/// Splits a frame payload into the verb line (without the trailing '\n')
+/// and the body after it. A payload without '\n' is all verb line.
+void split_verb_line(std::string_view payload, std::string_view* line,
+                     std::string_view* body);
+
+}  // namespace vcsteer::net

@@ -1,0 +1,78 @@
+// vcsteer-sweepd: the sweep-service daemon core.
+//
+// One SweepServer owns the authoritative ResultCache for a farm of sweep
+// workers and hands out (trace, machine) jobs on lease, turning the static
+// `--shard i/n` partition into a pull model: fast workers lease more jobs,
+// slow or crashed workers' leases expire back onto the queue and someone
+// else picks them up. The server itself is a single poll() loop — no
+// threads, no locks — which keeps every queue transition trivially ordered;
+// the heavy lifting (simulation) all happens client-side.
+//
+// Protocol (one length-prefixed frame per message, see frame.hpp; the
+// payload is `VERB args...\n` + optional body):
+//
+//   PING                        -> PONG
+//   GET\n<key>                  -> HIT\n<result> | MISS | CORRUPT
+//   PUT\n<key>--\n<result>      -> OK
+//   LEASE <sweep> <njobs> <id>  -> JOB <index> | WAIT | EMPTY | ERR <msg>
+//   DONE <sweep> <index>        -> OK | ERR <msg>
+//   STATS <sweep>               -> STATS\n<id> <jobs-pulled>\n...
+//
+// <sweep> is the grid fingerprint in hex (exec::grid_fingerprint); <key>
+// and <result> are the exact cache-entry texts (exec::cache_key /
+// encode_result), so the server never decodes results — it is a durability
+// and scheduling layer, not a simulator.
+//
+// Crash safety: GET/PUT go straight to the fsync-rename ResultCache, so
+// results survive a server SIGKILL. Lease state is in memory and dies with
+// the server — deliberately: on restart the first LEASE recreates the
+// queue, and re-leased jobs that were already finished become instant
+// cache hits client-side, so a restarted sweep converges to byte-identical
+// results instead of needing a journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace vcsteer::net {
+
+struct ServerOptions {
+  /// Listen address: `unix:/path` or `[tcp:]host:port`.
+  std::string listen;
+  /// Directory of the authoritative ResultCache.
+  std::string cache_dir;
+  /// Seconds before an unacknowledged lease expires back onto the queue.
+  double lease_timeout_s = 30.0;
+  /// Test knob: after granting this many leases (across all sweeps), the
+  /// server SIGKILLs itself — a deterministic mid-sweep crash for the
+  /// crash-recovery gate. 0 disables.
+  std::uint64_t crash_after_leases = 0;
+};
+
+class SweepServer {
+ public:
+  /// Binds and listens. Check ok() before serve(); error() says why not.
+  explicit SweepServer(const ServerOptions& opt);
+  ~SweepServer();
+  SweepServer(const SweepServer&) = delete;
+  SweepServer& operator=(const SweepServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  /// Runs the poll loop until stop() is called (from any thread/signal
+  /// context — it writes one byte to a self-pipe).
+  void serve();
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::string error_;
+};
+
+}  // namespace vcsteer::net

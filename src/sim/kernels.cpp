@@ -1,5 +1,6 @@
 #include "sim/kernels.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -197,13 +198,20 @@ const Ops* select() {
   return &kScalarOps;
 }
 
-const Ops* g_ops = nullptr;
+// Concurrent sweep workers all hit the first-use dispatch; select() is a
+// pure function of the env + CPUID, so racing initialisers agree on the
+// value and the atomic only has to rule out a torn pointer.
+std::atomic<const Ops*> g_ops{nullptr};
 
 }  // namespace
 
 const Ops& ops() {
-  if (g_ops == nullptr) g_ops = select();
-  return *g_ops;
+  const Ops* cur = g_ops.load(std::memory_order_acquire);
+  if (cur == nullptr) {
+    cur = select();
+    g_ops.store(cur, std::memory_order_release);
+  }
+  return *cur;
 }
 
 const char* selected_name() { return ops().name; }
@@ -213,7 +221,7 @@ bool avx2_supported() { return cpu_has_avx2(); }
 bool select_for_testing(const char* name) {
   const Ops* forced = lookup(name);
   if (forced == nullptr) return false;
-  g_ops = forced;
+  g_ops.store(forced, std::memory_order_release);
   return true;
 }
 

@@ -6,8 +6,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -18,6 +20,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "scratch_dir.hpp"
+#include "sim/sim_batch.hpp"
 #include "steer/mod_policy.hpp"
 #include "workload/profiles.hpp"
 
@@ -284,6 +287,139 @@ TEST(ResultCache, TruncatedEntryIsCorruptAndReplacedByStore) {
   expect_results_equal(r, loaded);
 }
 
+/// Rewrites the first `name=...` line of a cache entry to `name=<value>`.
+void garble_field(const std::string& entry_path, const std::string& name,
+                  const std::string& value) {
+  std::ifstream in(entry_path);
+  std::ostringstream rewritten;
+  std::string line;
+  bool replaced = false;
+  while (std::getline(in, line)) {
+    if (!replaced && line.rfind(name + "=", 0) == 0) {
+      rewritten << name << '=' << value << '\n';
+      replaced = true;
+    } else {
+      rewritten << line << '\n';
+    }
+  }
+  ASSERT_TRUE(replaced) << "no field " << name << " in " << entry_path;
+  std::ofstream out(entry_path, std::ios::trunc);
+  out << rewritten.str();
+}
+
+// Regression: get_u64/get_double used a lenient strtoull/strtod with no
+// endptr check, so "12x9" decoded as 12 and "" as 0 — a garbled value
+// became a plausible result instead of kCorrupt.
+TEST(ResultCache, TrailingGarbageValueIsCorruptNotSilentlyDecoded) {
+  ScratchDir dir;
+  const std::string cache_dir = dir.path() + "/cache";
+  ResultCache cache(cache_dir);
+  harness::RunResult r;
+  r.trace = "trace-x";
+  r.scheme = "OP";
+  r.ipc = 1.5;
+  r.cycles = 1290;
+  const std::string key = "k1=v1\n";
+  cache.store(key, r);
+
+  garble_field(only_entry(cache_dir), "cycles", "12x9");
+  harness::RunResult loaded;
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+
+  // store() heals it, then a garbled double is detected the same way.
+  cache.store(key, r);
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kHit);
+  garble_field(only_entry(cache_dir), "ipc", "1.5garbage");
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+}
+
+TEST(ResultCache, TruncatedDigitsAndEmptyValuesAreCorrupt) {
+  ScratchDir dir;
+  const std::string cache_dir = dir.path() + "/cache";
+  ResultCache cache(cache_dir);
+  harness::RunResult r;
+  r.trace = "trace-x";
+  r.scheme = "OP";
+  r.committed_uops = 123456;
+  const std::string key = "k1=v1\n";
+  cache.store(key, r);
+  const std::string entry = only_entry(cache_dir);
+
+  // An empty value must not decode as 0.
+  garble_field(entry, "committed_uops", "");
+  harness::RunResult loaded;
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+
+  // A signed/whitespace-prefixed value is not canonical u64 text either
+  // (strtoull would happily accept both).
+  cache.store(key, r);
+  garble_field(only_entry(cache_dir), "committed_uops", "-3");
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+  cache.store(key, r);
+  garble_field(only_entry(cache_dir), "committed_uops", " 7");
+  EXPECT_EQ(cache.lookup(key, &loaded), CacheLookup::kCorrupt);
+}
+
+std::uint64_t colliding_hash(std::string_view) { return 0x1234; }
+
+// Regression: path_for keyed files on the 64-bit hash only, so two keys
+// with the same hash alternately overwrote each other's entry (each lookup
+// a kMiss -> re-simulate -> store -> evict the other) forever. Colliding
+// keys must coexist via the collision-suffixed probe chain.
+TEST(ResultCache, HashCollisionKeysCoexistInsteadOfThrashing) {
+  ScratchDir dir;
+  ResultCache cache(dir.path() + "/cache", &colliding_hash);
+
+  harness::RunResult ra;
+  ra.trace = "trace-a";
+  ra.scheme = "OP";
+  ra.ipc = 1.0;
+  harness::RunResult rb;
+  rb.trace = "trace-b";
+  rb.scheme = "VC(2->2)";
+  rb.ipc = 2.0;
+  const std::string key_a = "point=a\n";
+  const std::string key_b = "point=b\n";
+
+  cache.store(key_a, ra);
+  cache.store(key_b, rb);  // same hash: must land on a suffixed sibling
+
+  harness::RunResult loaded;
+  ASSERT_EQ(cache.lookup(key_a, &loaded), CacheLookup::kHit);
+  expect_results_equal(ra, loaded);
+  ASSERT_EQ(cache.lookup(key_b, &loaded), CacheLookup::kHit);
+  expect_results_equal(rb, loaded);
+
+  // Re-storing either key updates its own slot without evicting the other.
+  ra.ipc = 3.0;
+  cache.store(key_a, ra);
+  ASSERT_EQ(cache.lookup(key_a, &loaded), CacheLookup::kHit);
+  EXPECT_EQ(loaded.ipc, 3.0);
+  ASSERT_EQ(cache.lookup(key_b, &loaded), CacheLookup::kHit);
+  expect_results_equal(rb, loaded);
+
+  // Both entries share the hash-named base: base + one suffixed sibling.
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(key_a, 0)));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(key_b, 1)));
+
+  // A third colliding key never stored is a miss, not corrupt.
+  EXPECT_EQ(cache.lookup("point=c\n", &loaded), CacheLookup::kMiss);
+}
+
+TEST(ResultCache, EncodeDecodeRoundTripsAndRejectsTruncation) {
+  harness::RunResult r;
+  r.trace = "t";
+  r.scheme = "OP";
+  r.ipc = 1.0 / 3.0;
+  r.committed_uops = 42;
+  const std::string text = encode_result(r);
+  harness::RunResult back;
+  ASSERT_TRUE(decode_result(text, &back));
+  expect_results_equal(r, back);
+  EXPECT_FALSE(decode_result(text.substr(0, text.size() / 2), &back));
+  EXPECT_FALSE(decode_result("", &back));
+}
+
 TEST(ResultCache, KeyMismatchIsAMiss) {
   ScratchDir dir;
   ResultCache cache(dir.path() + "/cache");
@@ -548,6 +684,180 @@ TEST(Sweep, PartialCacheSimulatesOnlyMissing) {
   EXPECT_EQ(mixed.simulated, grid.profiles.size());
 }
 
+// -------------------------------------------------- batch-lane resolution ---
+
+/// RAII VCSTEER_BATCH override (restores the previous value on scope exit).
+class BatchEnv {
+ public:
+  explicit BatchEnv(const char* value) {
+    const char* old = std::getenv("VCSTEER_BATCH");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("VCSTEER_BATCH", value, 1);
+    } else {
+      ::unsetenv("VCSTEER_BATCH");
+    }
+  }
+  ~BatchEnv() {
+    if (had_) {
+      ::setenv("VCSTEER_BATCH", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("VCSTEER_BATCH");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ResolveBatchLanes, ExplicitRequestWinsOverEnv) {
+  BatchEnv env("2");
+  EXPECT_EQ(resolve_batch_lanes(3), 3u);
+  // Explicit requests above the lane maximum clamp.
+  EXPECT_EQ(resolve_batch_lanes(1000),
+            static_cast<std::uint32_t>(sim::kMaxBatchLanes));
+}
+
+TEST(ResolveBatchLanes, EnvOffAndNumericAndUnset) {
+  {
+    BatchEnv env(nullptr);
+    EXPECT_EQ(resolve_batch_lanes(0),
+              static_cast<std::uint32_t>(sim::kMaxBatchLanes));
+  }
+  {
+    BatchEnv env("off");
+    EXPECT_EQ(resolve_batch_lanes(0), 1u);
+  }
+  {
+    BatchEnv env("4");
+    EXPECT_EQ(resolve_batch_lanes(0), 4u);
+  }
+  {
+    BatchEnv env("9999");  // over-max clamps, no warning needed
+    EXPECT_EQ(resolve_batch_lanes(0),
+              static_cast<std::uint32_t>(sim::kMaxBatchLanes));
+  }
+}
+
+// Regression: garbage in VCSTEER_BATCH used to half-parse via a lenient
+// strtol ("4x" -> 4, "nonsense" -> silently 1) with no diagnostic at all.
+// It must fall back to 1 lane AND say so on stderr.
+TEST(ResolveBatchLanes, GarbageWarnsLoudlyAndRunsUnbatched) {
+  const char* garbage[] = {"4x", "nonsense", "", "-2", "0"};
+  for (const char* value : garbage) {
+    BatchEnv env(value);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(resolve_batch_lanes(0), 1u) << "VCSTEER_BATCH=" << value;
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("VCSTEER_BATCH"), std::string::npos)
+        << "no warning for VCSTEER_BATCH=" << value;
+  }
+}
+
+// ------------------------------------------------------ queue / pull mode ---
+
+/// In-process JobQueue: a fixed list of job indices handed out in order.
+/// `grant_limit` caps how many jobs this queue grants (simulating the rest
+/// being stolen by other workers).
+class VectorQueue final : public JobQueue {
+ public:
+  VectorQueue(std::size_t njobs, std::size_t grant_limit)
+      : njobs_(njobs), grant_limit_(grant_limit) {}
+
+  bool acquire(std::size_t* job) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (next_ >= njobs_ || next_ >= grant_limit_) return false;
+    *job = next_++;
+    return true;
+  }
+  void complete(std::size_t job) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    completed_.push_back(job);
+  }
+  std::vector<std::size_t> completed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t njobs_;
+  std::size_t grant_limit_;
+  std::size_t next_ = 0;
+  std::vector<std::size_t> completed_;
+};
+
+TEST(Sweep, QueueModeBitIdenticalToStaticRun) {
+  ScratchDir dir;
+  const SweepGrid grid = small_grid();
+  const std::size_t njobs = grid.profiles.size() * grid.machines.size();
+
+  SweepOptions pull;
+  pull.jobs = 4;
+  pull.cache_dir = dir.path() + "/cache";
+  VectorQueue queue(njobs, njobs);
+  pull.queue = &queue;
+  const SweepResult pulled = run_sweep(grid, pull);
+  EXPECT_EQ(pulled.jobs_pulled, njobs);
+  EXPECT_EQ(pulled.skipped, 0u);
+  EXPECT_EQ(pulled.simulated, pulled.num_points());
+  EXPECT_EQ(queue.completed().size(), njobs);
+
+  const SweepResult serial = run_sweep(grid, SweepOptions{});
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      expect_results_equal(serial.at(t, s), pulled.at(t, s));
+    }
+  }
+}
+
+TEST(Sweep, QueueDrainLeavesUnpulledCellsForAssembly) {
+  ScratchDir dir;
+  const SweepGrid grid = small_grid();
+  const std::size_t njobs = grid.profiles.size() * grid.machines.size();
+  ASSERT_GE(njobs, 2u);
+
+  // This worker is granted only the first job; the "other worker" runs the
+  // rest into the same cache.
+  SweepOptions opt;
+  opt.cache_dir = dir.path() + "/cache";
+  VectorQueue queue(njobs, 1);
+  opt.queue = &queue;
+  const SweepResult partial = run_sweep(grid, opt);
+  EXPECT_EQ(partial.jobs_pulled, 1u);
+  EXPECT_EQ(partial.skipped, (njobs - 1) * grid.schemes.size());
+  EXPECT_EQ(partial.simulated, grid.schemes.size());
+
+  // Assembly pass: no queue, same store — every missing cell must fill in,
+  // simulating only what no worker published.
+  SweepOptions assemble;
+  assemble.cache_dir = opt.cache_dir;
+  const SweepResult full = run_sweep(grid, assemble);
+  EXPECT_EQ(full.cache_hits, grid.schemes.size());
+  EXPECT_EQ(full.simulated, (njobs - 1) * grid.schemes.size());
+  const SweepResult serial = run_sweep(grid, SweepOptions{});
+  for (std::size_t t = 0; t < grid.profiles.size(); ++t) {
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+      expect_results_equal(serial.at(t, s), full.at(t, s));
+    }
+  }
+}
+
+TEST(Sweep, GridFingerprintIdentifiesTheSweep) {
+  const SweepGrid grid = small_grid();
+  const std::uint64_t base = grid_fingerprint(grid, 0);
+  EXPECT_EQ(base, grid_fingerprint(grid, 0));  // deterministic
+  EXPECT_NE(base, grid_fingerprint(grid, 7));  // salt shifts the identity
+  SweepGrid other = grid;
+  other.machines = {MachineConfig::four_cluster()};
+  EXPECT_NE(base, grid_fingerprint(other, 0));
+  SweepGrid fewer = grid;
+  fewer.schemes.resize(1);
+  EXPECT_NE(base, grid_fingerprint(fewer, 0));
+}
+
 // ------------------------------------------------------------- ResultSink ---
 
 TEST(ResultSink, JsonCarriesResultsAndTables) {
@@ -623,6 +933,31 @@ TEST(RunSummary, JsonCarriesSweepCountersAndShardStatus) {
             std::string::npos);
   EXPECT_NE(json.find("{\"shard\":1,\"attempts\":2,\"ok\":true"),
             std::string::npos);
+  // No sweep service involved: the net field is explicitly null.
+  EXPECT_NE(json.find("\"net\":null"), std::string::npos);
+}
+
+TEST(RunSummary, NetSectionCarriesServiceCountersAndWorkerTallies) {
+  RunSummary s;
+  s.bench = "fig5_twocluster";
+  s.net.enabled = true;
+  s.net.server = "unix:/tmp/sweep.sock";
+  s.net.role = "serve";
+  s.net.jobs_pulled = 4;
+  s.net.gets = 30;
+  s.net.puts = 12;
+  s.net.reconnects = 1;
+  s.net.workers = {{"w0", 4}, {"w1", 2}};
+
+  std::ostringstream os;
+  write_summary_json(os, s);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"net\":{\"server\":\"unix:/tmp/sweep.sock\","
+                      "\"role\":\"serve\",\"jobs_pulled\":4,\"gets\":30,"
+                      "\"puts\":12,\"reconnects\":1,"
+                      "\"workers\":{\"w0\":4,\"w1\":2}}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"net\":null"), std::string::npos);
 }
 
 TEST(RunSummary, NoLaunchMeansNullLaunchField) {

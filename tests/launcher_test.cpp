@@ -5,6 +5,7 @@
 // exec failure) is exercised with real processes.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -127,6 +128,60 @@ TEST(Launcher, AttemptEnvCountsUpAcrossRetries) {
   const LaunchReport report = launch_workers(opt);
   EXPECT_TRUE(report.ok);
   EXPECT_EQ(slurp(log), "1\n2\n");
+}
+
+// Regression (EOF-hang): a worker that hands its stderr write end to a
+// grandchild outliving it produces no pipe EOF at all. The old monitor
+// reaped only on EOF, so launch_workers() blocked until the grandchild
+// died (here: 30 s); the WNOHANG reap pass must return as soon as the
+// worker itself exits.
+TEST(Launcher, GrandchildHoldingStderrOpenDoesNotHangTheMonitor) {
+  LaunchOptions opt;
+  // `sleep 30 &` inherits fd 2 (the pipe write end) and outlives the shell.
+  opt.worker_argv.push_back(sh("sleep 30 & echo spawned >&2; exit 0"));
+  std::string output;
+  opt.on_output = [&](std::uint32_t, std::string_view chunk) {
+    output.append(chunk);
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const LaunchReport report = launch_workers(opt);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_TRUE(report.workers[0].ok);
+  EXPECT_EQ(report.workers[0].attempts, 1u);
+  // Output written before the worker exited still arrives.
+  EXPECT_NE(output.find("spawned"), std::string::npos);
+  EXPECT_LT(elapsed, 10.0) << "monitor waited for the grandchild's pipe EOF";
+}
+
+// Regression (EOF-starvation): a worker that closes its own stderr and keeps
+// running used to trip the old monitor into a *blocking* waitpid on EOF,
+// freezing every other worker's output and retries until it exited. Exit
+// detection must be independent of the pipe's state.
+TEST(Launcher, WorkerClosingStderrStillRunsToCompletion) {
+  ScratchDir dir;
+  const std::string marker = dir.path() + "/done";
+  LaunchOptions opt;
+  opt.worker_argv.push_back(
+      sh("exec 2>&-; sleep 1; echo ran > " + marker + "; exit 0"));
+  // A sibling that keeps producing output while worker 0's pipe is at EOF:
+  // under the old design its chunks queued behind the blocked waitpid.
+  opt.worker_argv.push_back(
+      sh("i=0; while [ $i -lt 5 ]; do echo tick >&2; i=$((i+1)); done"));
+  std::string sibling_output;
+  opt.on_output = [&](std::uint32_t w, std::string_view chunk) {
+    if (w == 1) sibling_output.append(chunk);
+  };
+  const LaunchReport report = launch_workers(opt);
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.workers.size(), 2u);
+  EXPECT_TRUE(report.workers[0].ok);
+  EXPECT_EQ(report.workers[0].attempts, 1u);
+  EXPECT_TRUE(std::filesystem::exists(marker));
+  EXPECT_NE(sibling_output.find("tick"), std::string::npos);
 }
 
 TEST(Launcher, ExecFailureReports127AndDoesNotRetryForever) {
