@@ -41,11 +41,25 @@
 //                  common/log.hpp at info level. VCSTEER_LOG=info|debug in
 //                  the environment enables the same verbosity without the
 //                  flag (error|warn quieten it).
+//   --prune-model K
+//                  two-stage pruned search: score every grid point with the
+//                  analytical critical-path model (src/model/), then simulate
+//                  only the top-K (machine, scheme) configs. The simulated
+//                  frontier is byte-identical to an unpruned run; the rest of
+//                  the grid carries model estimates tagged source == "model".
+//                  Needs the whole grid in one process, so it cannot be
+//                  combined with --shard/--launch/--connect/--serve.
 //   --json FILE    write raw results + all tables as one JSON document.
 //   --summary-json FILE
 //                  machine-readable run summary (sweep counters, wall time,
-//                  per-shard status) for CI gates — see exec::RunSummary.
+//                  per-shard status, parsed-option echo) for CI gates — see
+//                  exec::RunSummary.
 //   --csv          print tables as CSV instead of aligned text.
+//
+// All of the above — the parse loop, the generated --help text, and the
+// "options" echo in the --summary-json — are driven by ONE declarative
+// table (OptionSpec / option_table() below). Adding a flag means adding one
+// table entry; unknown flags are a hard error, never pass-through.
 //
 // Usage pattern:
 //   bench::Options opt = bench::parse_args(argc, argv, "fig5_twocluster");
@@ -69,6 +83,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.hpp"
@@ -100,6 +115,7 @@ struct Options {
   std::string connect;    // --connect: lease jobs from this sweepd address
   std::string serve;      // --serve: spawn a sweepd on this address first
   std::string client_id;  // --client-id: name in server lease stats
+  std::size_t prune_model = 0;  // --prune-model K: top-K configs simulated
   std::string json_path;
   std::string summary_json_path;
 
@@ -184,6 +200,7 @@ struct Options {
     opt.seed_salt = seed;
     opt.shard_index = shard_index;
     opt.shard_count = shard_count;
+    opt.prune_top_k = prune_model;
     opt.progress = [crash_after = crash_after_jobs(),
                     t0 = std::chrono::steady_clock::now()](std::size_t done,
                                                            std::size_t total) {
@@ -214,15 +231,187 @@ struct Options {
   }
 };
 
+/// A parse error: one message, a --help hint, exit 2. The option table's
+/// apply hooks use this too, so every bad invocation fails the same way.
+[[noreturn]] inline void parse_fail(const Options& opt,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "%s: %s\n", opt.bench_name.c_str(), msg.c_str());
+  std::fprintf(stderr, "%s: run with --help for the flag list\n",
+               opt.bench_name.c_str());
+  std::exit(2);
+}
+
+/// One command-line flag of the shared bench driver. A single table of
+/// these (option_table()) drives everything that used to be maintained in
+/// triplicate: the parse loop, the generated --help text, and the "options"
+/// echo in the --summary-json. `apply` and `echo` are plain function
+/// pointers so the table itself stays a static literal.
+struct OptionSpec {
+  const char* name;   ///< primary spelling, e.g. "--jobs"
+  const char* alias;  ///< alternate spelling or nullptr, e.g. "--quick"
+  const char* arg;    ///< value metavar, or nullptr for boolean flags
+  const char* help;   ///< one-line description for --help
+  /// Parses the consumed value into `opt` (`value` is nullptr for boolean
+  /// flags). Rejects bad values via parse_fail().
+  void (*apply)(Options& opt, const char* value);
+  /// Renders the *final* value for the summary echo ("true"/"false" for
+  /// flags, "" for unset strings) — a summary is self-describing about the
+  /// invocation that produced it.
+  std::string (*echo)(const Options& opt);
+};
+
+inline const std::vector<OptionSpec>& option_table() {
+  static const std::vector<OptionSpec> specs = {
+      {"--jobs", nullptr, "N",
+       "worker threads for the sweep (default: all cores); results are "
+       "bit-identical for every N",
+       [](Options& o, const char* v) {
+         const long jobs = std::strtol(v, nullptr, 10);
+         // Clamp: negatives/0 mean serial, and there is no point spawning
+         // more workers than any realistic grid has jobs.
+         o.jobs = static_cast<unsigned>(std::clamp(jobs, 1L, 512L));
+       },
+       [](const Options& o) { return std::to_string(o.jobs); }},
+      {"--smoke", "--quick", nullptr, "smoke budget + reduced trace set",
+       [](Options& o, const char*) { o.smoke = true; },
+       [](const Options& o) -> std::string {
+         return o.smoke ? "true" : "false";
+       }},
+      {"--seed", nullptr, "S", "extra salt mixed into every workload seed",
+       [](Options& o, const char* v) {
+         o.seed = std::strtoull(v, nullptr, 10);
+       },
+       [](const Options& o) { return std::to_string(o.seed); }},
+      {"--shard", nullptr, "I/N",
+       "run only this process's 1/N of the job list (0 <= I < N); requires "
+       "--cache-dir",
+       [](Options& o, const char* v) {
+         char* end = nullptr;
+         const unsigned long index = std::strtoul(v, &end, 10);
+         unsigned long count = 0;
+         if (end != v && *end == '/') {
+           const char* count_str = end + 1;
+           count = std::strtoul(count_str, &end, 10);
+           if (end == count_str) count = 0;
+         }
+         if (count == 0 || index >= count || *end != '\0') {
+           parse_fail(o, std::string("--shard expects I/N with 0 <= I < N, "
+                                     "got '") +
+                             v + "'");
+         }
+         o.shard_index = static_cast<std::uint32_t>(index);
+         o.shard_count = static_cast<std::uint32_t>(count);
+       },
+       [](const Options& o) {
+         return std::to_string(o.shard_index) + "/" +
+                std::to_string(o.shard_count);
+       }},
+      {"--launch", nullptr, "N",
+       "re-exec this binary as N shard workers over --cache-dir, then run "
+       "the assembly pass",
+       [](Options& o, const char* v) {
+         const long n = std::strtol(v, nullptr, 10);
+         // 1 worker would just be the plain run with extra process overhead.
+         if (n < 2 || n > 512) {
+           parse_fail(o, "--launch expects 2..512 workers, got " +
+                             std::string(v));
+         }
+         o.launch = static_cast<unsigned>(n);
+       },
+       [](const Options& o) { return std::to_string(o.launch); }},
+      {"--cache-dir", nullptr, "DIR",
+       "on-disk result cache; warm re-runs skip simulation",
+       [](Options& o, const char* v) { o.cache_dir = v; },
+       [](const Options& o) { return o.cache_dir; }},
+      {"--connect", nullptr, "ADDR",
+       "lease jobs from a vcsteer-sweepd at ADDR (unix:/path or host:port)",
+       [](Options& o, const char* v) { o.connect = v; },
+       [](const Options& o) { return o.connect; }},
+      {"--serve", nullptr, "ADDR",
+       "spawn a vcsteer-sweepd on ADDR, lease jobs from it, shut it down "
+       "at the end",
+       [](Options& o, const char* v) { o.serve = v; },
+       [](const Options& o) { return o.serve; }},
+      {"--client-id", nullptr, "ID",
+       "this worker's name in server lease stats (default: wpid<pid>)",
+       [](Options& o, const char* v) { o.client_id = v; },
+       [](const Options& o) { return o.client_id; }},
+      {"--prune-model", nullptr, "K",
+       "two-stage pruned search: model-score every point, simulate only the "
+       "top-K (machine, scheme) configs",
+       [](Options& o, const char* v) {
+         char* end = nullptr;
+         const long k = std::strtol(v, &end, 10);
+         if (end == v || *end != '\0' || k < 1) {
+           parse_fail(o, "--prune-model expects a frontier size K >= 1, "
+                         "got '" +
+                             std::string(v) + "'");
+         }
+         o.prune_model = static_cast<std::size_t>(k);
+       },
+       [](const Options& o) { return std::to_string(o.prune_model); }},
+      {"--json", nullptr, "FILE",
+       "write raw results + all tables as one JSON document",
+       [](Options& o, const char* v) { o.json_path = v; },
+       [](const Options& o) { return o.json_path; }},
+      {"--summary-json", nullptr, "FILE",
+       "machine-readable run summary for CI gates (exec::RunSummary)",
+       [](Options& o, const char* v) { o.summary_json_path = v; },
+       [](const Options& o) { return o.summary_json_path; }},
+      {"--csv", nullptr, nullptr,
+       "print tables as CSV instead of aligned text",
+       [](Options& o, const char*) { o.csv = true; },
+       [](const Options& o) -> std::string {
+         return o.csv ? "true" : "false";
+       }},
+      {"--progress", nullptr, nullptr,
+       "per-job heartbeat lines on stderr (done/total, elapsed, ETA)",
+       [](Options& o, const char*) {
+         o.progress = true;
+         // The heartbeat rides the info level; never lower an env-raised
+         // one.
+         if (static_cast<int>(log_level()) <
+             static_cast<int>(LogLevel::kInfo)) {
+           set_log_level(LogLevel::kInfo);
+         }
+       },
+       [](const Options& o) -> std::string {
+         return o.progress ? "true" : "false";
+       }},
+  };
+  return specs;
+}
+
+/// --help text, generated from the option table (exit 0); also the epitaph
+/// of a bad invocation (exit 2).
 [[noreturn]] inline void usage(const std::string& bench_name, int code) {
-  std::fprintf(stderr,
-               "usage: %s [--jobs N] [--smoke|--quick] [--seed S]\n"
-               "          [--shard I/N] [--launch N] [--cache-dir DIR]\n"
-               "          [--connect ADDR] [--serve ADDR] [--client-id ID]\n"
-               "          [--json FILE] [--summary-json FILE] [--csv]\n"
-               "          [--progress]\n",
-               bench_name.c_str());
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out, "usage: %s [flags]\n\nflags:\n", bench_name.c_str());
+  for (const OptionSpec& s : option_table()) {
+    std::string head = s.name;
+    if (s.arg != nullptr) {
+      head += ' ';
+      head += s.arg;
+    }
+    if (s.alias != nullptr) {
+      head += " (alias ";
+      head += s.alias;
+      head += ')';
+    }
+    std::fprintf(out, "  %-22s %s\n", head.c_str(), s.help);
+  }
   std::exit(code);
+}
+
+/// The "options" section of the --summary-json: every table entry's final
+/// value under its flag name without the leading dashes, in table order.
+inline std::vector<std::pair<std::string, std::string>> echo_options(
+    const Options& opt) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const OptionSpec& s : option_table()) {
+    out.emplace_back(s.name + 2, s.echo(opt));
+  }
+  return out;
 }
 
 inline Options parse_args(int argc, char** argv, std::string bench_name) {
@@ -230,128 +419,73 @@ inline Options parse_args(int argc, char** argv, std::string bench_name) {
   opt.bench_name = std::move(bench_name);
   opt.exe = argc > 0 ? argv[0] : "";
   init_log_from_env();  // VCSTEER_LOG override applies to every bench
-  auto value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s: %s needs a value\n", opt.bench_name.c_str(),
-                   argv[i]);
-      usage(opt.bench_name, 2);
-    }
-    return argv[++i];
-  };
+  const std::vector<OptionSpec>& specs = option_table();
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--jobs") == 0) {
-      const long jobs = std::strtol(value(i), nullptr, 10);
-      // Clamp: negatives/0 mean serial, and there is no point spawning more
-      // workers than any realistic grid has jobs.
-      opt.jobs = static_cast<unsigned>(std::clamp(jobs, 1L, 512L));
-    } else if (std::strcmp(arg, "--smoke") == 0 ||
-               std::strcmp(arg, "--quick") == 0) {
-      opt.smoke = true;
-    } else if (std::strcmp(arg, "--seed") == 0) {
-      opt.seed = std::strtoull(value(i), nullptr, 10);
-    } else if (std::strcmp(arg, "--shard") == 0) {
-      const char* v = value(i);
-      char* end = nullptr;
-      const unsigned long index = std::strtoul(v, &end, 10);
-      unsigned long count = 0;
-      if (end != v && *end == '/') {
-        const char* count_str = end + 1;
-        count = std::strtoul(count_str, &end, 10);
-        if (end == count_str) count = 0;
-      }
-      if (count == 0 || index >= count || *end != '\0') {
-        std::fprintf(stderr,
-                     "%s: --shard expects I/N with 0 <= I < N, got '%s'\n",
-                     opt.bench_name.c_str(), v);
-        usage(opt.bench_name, 2);
-      }
-      opt.shard_index = static_cast<std::uint32_t>(index);
-      opt.shard_count = static_cast<std::uint32_t>(count);
-    } else if (std::strcmp(arg, "--launch") == 0) {
-      const long n = std::strtol(value(i), nullptr, 10);
-      // 1 worker would just be the plain run with extra process overhead.
-      if (n < 2 || n > 512) {
-        std::fprintf(stderr, "%s: --launch expects 2..512 workers, got %ld\n",
-                     opt.bench_name.c_str(), n);
-        usage(opt.bench_name, 2);
-      }
-      opt.launch = static_cast<unsigned>(n);
-    } else if (std::strcmp(arg, "--cache-dir") == 0) {
-      opt.cache_dir = value(i);
-    } else if (std::strcmp(arg, "--connect") == 0) {
-      opt.connect = value(i);
-    } else if (std::strcmp(arg, "--serve") == 0) {
-      opt.serve = value(i);
-    } else if (std::strcmp(arg, "--client-id") == 0) {
-      opt.client_id = value(i);
-    } else if (std::strcmp(arg, "--json") == 0) {
-      opt.json_path = value(i);
-    } else if (std::strcmp(arg, "--summary-json") == 0) {
-      opt.summary_json_path = value(i);
-    } else if (std::strcmp(arg, "--csv") == 0) {
-      opt.csv = true;
-    } else if (std::strcmp(arg, "--progress") == 0) {
-      opt.progress = true;
-      // The heartbeat rides the info level; never lower an env-raised one.
-      if (static_cast<int>(log_level()) < static_cast<int>(LogLevel::kInfo)) {
-        set_log_level(LogLevel::kInfo);
-      }
-    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(opt.bench_name, 0);
-    } else {
-      std::fprintf(stderr, "%s: unknown flag %s\n", opt.bench_name.c_str(),
-                   arg);
-      usage(opt.bench_name, 2);
     }
+    const OptionSpec* spec = nullptr;
+    for (const OptionSpec& s : specs) {
+      if (std::strcmp(arg, s.name) == 0 ||
+          (s.alias != nullptr && std::strcmp(arg, s.alias) == 0)) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      parse_fail(opt, std::string("unknown flag ") + arg);
+    }
+    const char* value = nullptr;
+    if (spec->arg != nullptr) {
+      if (i + 1 >= argc) {
+        parse_fail(opt, std::string(spec->name) + " needs a value");
+      }
+      value = argv[++i];
+    }
+    spec->apply(opt, value);
   }
-  // A sharded run produces no tables; without the shared cache its results
-  // would be simulated and then thrown away.
+  // Cross-flag validation. A sharded run produces no tables; without the
+  // shared cache its results would be simulated and then thrown away.
   if (opt.shard_count > 1 && opt.cache_dir.empty()) {
-    std::fprintf(stderr, "%s: --shard requires --cache-dir (shards publish"
-                 " their results through the shared cache)\n",
-                 opt.bench_name.c_str());
-    usage(opt.bench_name, 2);
+    parse_fail(opt, "--shard requires --cache-dir (shards publish their "
+                    "results through the shared cache)");
   }
   if (opt.launch >= 2) {
     if (opt.cache_dir.empty()) {
-      std::fprintf(stderr, "%s: --launch requires --cache-dir (workers hand"
-                   " results to the assembly run through it)\n",
-                   opt.bench_name.c_str());
-      usage(opt.bench_name, 2);
+      parse_fail(opt, "--launch requires --cache-dir (workers hand results "
+                      "to the assembly run through it)");
     }
     if (opt.shard_count > 1) {
-      std::fprintf(stderr, "%s: --launch spawns the shards itself; it cannot"
-                   " be combined with --shard\n",
-                   opt.bench_name.c_str());
-      usage(opt.bench_name, 2);
+      parse_fail(opt, "--launch spawns the shards itself; it cannot be "
+                      "combined with --shard");
     }
   }
   if (!opt.connect.empty() && !opt.serve.empty()) {
-    std::fprintf(stderr, "%s: --connect and --serve are mutually exclusive\n",
-                 opt.bench_name.c_str());
-    usage(opt.bench_name, 2);
+    parse_fail(opt, "--connect and --serve are mutually exclusive");
   }
   if (!opt.connect.empty() &&
       (opt.shard_count > 1 || opt.launch >= 2 || !opt.cache_dir.empty())) {
-    std::fprintf(stderr,
-                 "%s: --connect replaces --shard/--launch/--cache-dir (jobs "
-                 "and results live on the server)\n",
-                 opt.bench_name.c_str());
-    usage(opt.bench_name, 2);
+    parse_fail(opt, "--connect replaces --shard/--launch/--cache-dir (jobs "
+                    "and results live on the server)");
   }
   if (!opt.serve.empty()) {
     if (opt.cache_dir.empty()) {
-      std::fprintf(stderr, "%s: --serve requires --cache-dir (the daemon's "
-                   "durable result store)\n",
-                   opt.bench_name.c_str());
-      usage(opt.bench_name, 2);
+      parse_fail(opt, "--serve requires --cache-dir (the daemon's durable "
+                      "result store)");
     }
     if (opt.shard_count > 1) {
-      std::fprintf(stderr, "%s: --serve cannot be combined with --shard\n",
-                   opt.bench_name.c_str());
-      usage(opt.bench_name, 2);
+      parse_fail(opt, "--serve cannot be combined with --shard");
     }
+  }
+  // The frontier ranking needs every grid point's model score in one
+  // process; distributed modes see only a slice.
+  if (opt.prune_model > 0 &&
+      (opt.shard_count > 1 || opt.launch >= 2 || !opt.connect.empty() ||
+       !opt.serve.empty())) {
+    parse_fail(opt, "--prune-model needs the whole grid in one process; it "
+                    "cannot be combined with --shard/--launch/--connect/"
+                    "--serve");
   }
   return opt;
 }
@@ -637,6 +771,16 @@ class Output {
     lane_groups_ += sweep.lane_groups;
     batched_points_ += sweep.batched_points;
     phases_ += sweep.phases;
+    if (sweep.model.enabled) {
+      // Counters sum across sweeps; the rank-agreement stats describe one
+      // frontier, so the last pruned sweep's values stand for the run.
+      model_.enabled = true;
+      model_.top_k = sweep.model.top_k;
+      model_.estimated += sweep.model.estimated;
+      model_.pruned += sweep.model.pruned;
+      model_.spearman = sweep.model.spearman;
+      model_.top3_overlap = sweep.model.top3_overlap;
+    }
     if (sweep.skipped > 0) {
       std::fprintf(stderr,
                    "%s: %zu points (%zu simulated, %zu cache hits, "
@@ -684,6 +828,8 @@ class Output {
       summary.shards = launch_report_->workers;
     }
     summary.net = net_;
+    summary.model = model_;
+    summary.options = echo_options(opt_);
     std::ofstream os(opt_.summary_json_path);
     if (os) {
       exec::write_summary_json(os, summary);
@@ -701,6 +847,7 @@ class Output {
   std::optional<exec::LaunchReport> launch_report_;
   ServerProcess server_;
   exec::RunSummary::NetSummary net_;
+  exec::RunSummary::ModelSummary model_;
   std::size_t points_ = 0;
   std::size_t simulated_ = 0;
   std::size_t cache_hits_ = 0;

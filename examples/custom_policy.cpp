@@ -53,8 +53,12 @@ int main(int argc, char** argv) {
 
   // Built-in schemes through the harness...
   harness::TraceExperiment experiment(*profile, machine, budget);
-  const harness::RunResult op = experiment.run({steer::Scheme::kOp, 0});
-  const harness::RunResult vc = experiment.run({steer::Scheme::kVc, 2});
+  const std::vector<harness::SchemeRequest> schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 2}};
+  const std::vector<harness::RunResult> builtin = experiment.evaluate(schemes);
+  const harness::RunResult& op = builtin[0];
+  const harness::RunResult& vc = builtin[1];
 
   // ...and the custom policy driven manually against the same simulation
   // points (this is all the harness does under the hood).

@@ -39,14 +39,16 @@ int main(int argc, char** argv) {
               experiment.simpoints().size(),
               static_cast<unsigned long long>(budget.total_uops));
 
-  const std::vector<harness::SchemeSpec> specs = {
-      {steer::Scheme::kOp, 0},         {steer::Scheme::kOneCluster, 0},
-      {steer::Scheme::kOb, 0},         {steer::Scheme::kRhop, 0},
-      {steer::Scheme::kVc, 0},
+  const std::vector<harness::SchemeRequest> schemes = {
+      harness::SchemeSpec{steer::Scheme::kOp, 0},
+      harness::SchemeSpec{steer::Scheme::kOneCluster, 0},
+      harness::SchemeSpec{steer::Scheme::kOb, 0},
+      harness::SchemeSpec{steer::Scheme::kRhop, 0},
+      harness::SchemeSpec{steer::Scheme::kVc, 0},
   };
 
-  std::vector<harness::RunResult> results;
-  for (const auto& spec : specs) results.push_back(experiment.run(spec));
+  const std::vector<harness::RunResult> results =
+      experiment.evaluate(schemes);
   const double base_ipc = results.front().ipc;
 
   stats::Table table("steering schemes on " + profile->name + " (2 clusters)");

@@ -112,8 +112,9 @@ int main(int argc, char** argv) {
   table.set_columns({"scheme", "IPC", "slowdown vs OP (%)", "copies/kuop",
                      "alloc stalls/kuop", "policy stalls/kuop"});
   double base_ipc = 0.0;
-  for (const auto& spec : specs) {
-    const harness::RunResult r = experiment.run(spec);
+  const std::vector<harness::SchemeRequest> requests(specs.begin(),
+                                                     specs.end());
+  for (const harness::RunResult& r : experiment.evaluate(requests)) {
     if (base_ipc == 0.0) base_ipc = r.ipc;
     table.row()
         .add(r.scheme)

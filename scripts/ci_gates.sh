@@ -21,6 +21,12 @@
 #             deterministic --crash-after-leases knob) then restarted must
 #             still yield identical bytes, with the client's summary
 #             recording the reconnect (scripts/service_crash_test.sh)
+#   model     analytical estimator + pruned search: fig5/fig7 smoke with
+#             --prune-model 999 must write results JSON byte-identical to
+#             the plain runs (the model only reorders work), with model
+#             rank agreement Spearman >= 0.9 and top-3 overlap >= 2 on
+#             both grids; autotune_search --smoke must cover a >= 5520
+#             point grid while simulating at most 20% of it
 #   observe   observer layer: a fig7 smoke sweep's --summary-json carries
 #             per-phase timing spans and event counts, and the
 #             pipeline_viewer's event counts reconcile exactly with the
@@ -116,6 +122,40 @@ gate_observe() {
     'events["cycles"] == stats["cycles"]' \
     'events["copy_injects"] == stats["copies_routed"]' \
     'len(timeline) > 0'
+}
+
+gate_model() {
+  warn_if_not_release
+  # Two-stage pruned search must be invisible in the output: with a frontier
+  # covering the whole grid (--prune-model 999) every point is simulated and
+  # the results JSON must be byte-identical to the plain run — the model may
+  # only ever *reorder* work, never change a simulated number. The same
+  # summaries carry the model-vs-sim rank agreement over the simulated
+  # frontier, the estimator's accuracy contract: Spearman >= 0.9 and at
+  # least 2 of the top-3 configs shared on both figure grids.
+  for fig in fig5_twocluster fig7_fourcluster; do
+    "$BUILD_DIR/$fig" --smoke --jobs 2 \
+      --json "$GATE_OUT/model_${fig}_plain.json"
+    "$BUILD_DIR/$fig" --smoke --jobs 2 --prune-model 999 \
+      --json "$GATE_OUT/model_${fig}_pruned.json" \
+      --summary-json "$GATE_OUT/model_${fig}_summary.json"
+    cmp "$GATE_OUT/model_${fig}_plain.json" \
+        "$GATE_OUT/model_${fig}_pruned.json"
+    assert_summary "$GATE_OUT/model_${fig}_summary.json" \
+      'ok' 'sweep["simulated"] == sweep["points"]' \
+      'model["estimated"] == sweep["points"]' \
+      'model["spearman"] >= 0.9' 'model["top3_overlap"] >= 2'
+  done
+  # The autotune bench is the pruned search at its intended scale: a grid
+  # an order of magnitude beyond any figure sweep (>= 5520 points, 10x the
+  # 552-point ablation grid) of which the simulator sees at most 20%.
+  "$BUILD_DIR/autotune_search" --smoke --jobs 2 \
+    --summary-json "$GATE_OUT/model_autotune_summary.json"
+  assert_summary "$GATE_OUT/model_autotune_summary.json" \
+    'ok' 'sweep["points"] >= 5520' \
+    'sweep["simulated"] * 5 <= sweep["points"]' \
+    'model["estimated"] == sweep["points"]' \
+    'model["pruned"] + sweep["simulated"] == sweep["points"]'
 }
 
 gate_perf() {
@@ -260,7 +300,7 @@ gate_launch() {
     'ok' 'sweep["simulated"] == 0' 'sweep["cache_hits"] == sweep["points"]'
 }
 
-ALL_GATES=(tier1 golden batch ablation smoke shard launch service observe perf)
+ALL_GATES=(tier1 golden batch ablation smoke shard launch service observe model perf)
 if [[ $# -eq 0 ]]; then
   GATES=("${ALL_GATES[@]}")
 else

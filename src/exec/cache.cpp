@@ -185,9 +185,11 @@ FieldWriter& FieldWriter::field(std::string_view name, std::int64_t value) {
 std::string cache_key(const workload::WorkloadProfile& p,
                       const MachineConfig& m, const harness::SchemeSpec& spec,
                       const harness::SimBudget& budget,
-                      std::string_view custom_tag) {
+                      std::string_view custom_tag,
+                      std::string_view source) {
   FieldWriter w;
-  w.field("format", std::uint64_t{4});  // 4: + observer occupancy/steer fields
+  w.field("format", std::uint64_t{5});  // 5: + eval.source namespace + result source field
+  w.field("eval.source", source);
   // Workload profile — every generator input.
   w.field("profile.name", p.name);
   w.field("profile.is_fp", std::uint64_t{p.is_fp});
@@ -364,6 +366,7 @@ bool decode_result(const std::string& text, harness::RunResult* out) {
   harness::RunResult r;
   if (!get_string(fields, "trace", &r.trace) ||
       !get_string(fields, "scheme", &r.scheme) ||
+      !get_string(fields, "source", &r.source) ||
       !get_double(fields, "ipc", &r.ipc) ||
       !get_double(fields, "copies_per_kuop", &r.copies_per_kuop) ||
       !get_double(fields, "alloc_stalls_per_kuop", &r.alloc_stalls_per_kuop) ||
@@ -410,6 +413,7 @@ std::string encode_result(const harness::RunResult& result) {
   FieldWriter w;
   w.field("trace", result.trace);
   w.field("scheme", result.scheme);
+  w.field("source", result.source);
   w.field("ipc", result.ipc);
   w.field("copies_per_kuop", result.copies_per_kuop);
   w.field("alloc_stalls_per_kuop", result.alloc_stalls_per_kuop);

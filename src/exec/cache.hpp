@@ -41,11 +41,15 @@ class FieldWriter {
 /// Canonical description of one sweep point. `custom_tag` distinguishes
 /// caller-supplied policies that SchemeSpec cannot describe (e.g. "MOD3");
 /// it must encode everything that parameterises the custom policy.
+/// `source` is the evaluation backend namespace ("sim" or "model",
+/// eval::source_name): analytical estimates live under distinct keys and
+/// can never alias — or be served in place of — simulation results.
 std::string cache_key(const workload::WorkloadProfile& profile,
                       const MachineConfig& machine,
                       const harness::SchemeSpec& spec,
                       const harness::SimBudget& budget,
-                      std::string_view custom_tag = {});
+                      std::string_view custom_tag = {},
+                      std::string_view source = "sim");
 
 /// Outcome of a cache probe. kCorrupt means a file for the key existed but
 /// could not be decoded (truncated/garbled entry — e.g. a pre-fsync cache

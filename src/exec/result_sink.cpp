@@ -80,6 +80,25 @@ void write_summary_json(std::ostream& os, const RunSummary& s) {
     }
     os << "}}";
   }
+  if (!s.model.enabled) {
+    os << ",\"model\":null";
+  } else {
+    os << ",\"model\":{\"top_k\":" << s.model.top_k
+       << ",\"estimated\":" << s.model.estimated
+       << ",\"pruned\":" << s.model.pruned
+       << ",\"spearman\":" << num(s.model.spearman)
+       << ",\"top3_overlap\":" << s.model.top3_overlap << "}";
+  }
+  os << ",\"options\":{";
+  {
+    bool first = true;
+    for (const auto& [name, value] : s.options) {
+      if (!first) os << ',';
+      first = false;
+      os << stats::json_quote(name) << ":" << stats::json_quote(value);
+    }
+  }
+  os << "}";
   os << "}\n";
 }
 
@@ -121,6 +140,9 @@ void ResultSink::write_json(std::ostream& os) const {
     return std::string(buf);
   };
   os << "{\"bench\":" << stats::json_quote(bench_name_) << ',';
+  // Results-document schema version: bumped whenever a field is added to or
+  // removed from the per-result records below (2: + per-result "source").
+  os << "\"schema_version\":2,";
   // Deliberately no execution counters (simulated/cache hits) here: the
   // document is a pure function of the grid, so a cached, sharded, or
   // launched run emits the same bytes as a cold single-process one. The
@@ -132,6 +154,7 @@ void ResultSink::write_json(std::ostream& os) const {
     if (i) os << ',';
     os << "{\"trace\":" << stats::json_quote(r.trace)
        << ",\"scheme\":" << stats::json_quote(r.scheme)
+       << ",\"source\":" << stats::json_quote(r.source)
        << ",\"ipc\":" << num(r.ipc)
        << ",\"copies_per_kuop\":" << num(r.copies_per_kuop)
        << ",\"alloc_stalls_per_kuop\":" << num(r.alloc_stalls_per_kuop)

@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/launcher.hpp"
@@ -87,6 +88,22 @@ struct RunSummary {
     std::map<std::string, std::uint64_t> workers;
   };
   NetSummary net;
+  /// Two-stage pruned-search accounting (`--prune-model K`); disabled means
+  /// the `model` JSON field is null. Mirrors exec::SweepResult::ModelStats,
+  /// summed over sweeps (spearman/top3 taken from the last pruned sweep).
+  struct ModelSummary {
+    bool enabled = false;
+    std::size_t top_k = 0;
+    std::size_t estimated = 0;
+    std::size_t pruned = 0;
+    double spearman = 0.0;
+    std::size_t top3_overlap = 0;
+  };
+  ModelSummary model;
+  /// Parsed command-line options echoed back verbatim (name -> final value,
+  /// emitted by the declarative option table in bench/bench_main.hpp) so a
+  /// summary is self-describing about the invocation that produced it.
+  std::vector<std::pair<std::string, std::string>> options;
 };
 
 /// One-line JSON document:
@@ -100,7 +117,9 @@ struct RunSummary {
 ///    "launch":null | {"workers","max_retries","ok","failed_shards",
 ///                     "shards":[{"shard","attempts","ok","exit_code","signal"}]},
 ///    "net":null | {"server","role","jobs_pulled","gets","puts","reconnects",
-///                  "workers":{client-id:jobs-pulled...}}}
+///                  "workers":{client-id:jobs-pulled...}},
+///    "model":null | {"top_k","estimated","pruned","spearman","top3_overlap"},
+///    "options":{flag:final-value...}}
 void write_summary_json(std::ostream& os, const RunSummary& summary);
 
 class ResultSink {

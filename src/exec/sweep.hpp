@@ -31,23 +31,12 @@
 
 namespace vcsteer::exec {
 
-/// One scheme-axis entry. Either a built-in SchemeSpec, or — when
-/// `make_policy` is set — a caller-constructed hardware policy (no software
-/// pass), labelled and cache-keyed by `custom_tag`, which must encode every
-/// parameter of the custom policy.
-struct SweepScheme {
-  harness::SchemeSpec spec;
-  std::string custom_tag;
-  std::function<std::unique_ptr<steer::SteeringPolicy>(const MachineConfig&)>
-      make_policy;
-
-  SweepScheme() = default;
-  SweepScheme(harness::SchemeSpec s) : spec(s) {}  // NOLINT(google-explicit-constructor)
-  SweepScheme(std::string tag,
-              std::function<std::unique_ptr<steer::SteeringPolicy>(
-                  const MachineConfig&)> factory)
-      : custom_tag(std::move(tag)), make_policy(std::move(factory)) {}
-};
+/// One scheme-axis entry: the evaluation API's shared request currency
+/// (either a built-in SchemeSpec or a caller-constructed policy factory
+/// labelled/cache-keyed by its custom tag). Historically a distinct struct
+/// with exactly this shape; now the same type the Evaluator interface and
+/// TraceExperiment::evaluate consume, so grids flow through unconverted.
+using SweepScheme = harness::SchemeRequest;
 
 struct SweepGrid {
   std::vector<workload::WorkloadProfile> profiles;
@@ -110,6 +99,17 @@ struct SweepOptions {
   /// sim::kMaxBatchLanes); 1 disables coalescing. Clamped to
   /// [1, sim::kMaxBatchLanes].
   std::uint32_t batch_lanes = 0;
+  /// Two-stage pruned search (--prune-model K; 0 = off). When set, every
+  /// grid point is first scored by the analytical critical-path model
+  /// (eval::ModelEvaluator; cached under the "model" key namespace), the
+  /// (machine, scheme) configs are ranked by mean model IPC across traces,
+  /// and only the top-K configs are simulated — through the exact same
+  /// SimEvaluator path as an unpruned run, so the simulated frontier's
+  /// results (and cache entries) are byte-identical with and without
+  /// pruning. Non-frontier slots carry the model estimates, tagged
+  /// source == "model". Incompatible with sharding and queue mode (the
+  /// frontier needs the whole grid's estimates).
+  std::size_t prune_top_k = 0;
 };
 
 /// Wall-clock seconds a sweep spent per phase, summed over all jobs (so on
@@ -170,6 +170,19 @@ class SweepResult {
   /// Jobs this run acquired from SweepOptions::queue (0 in static-shard
   /// mode): the per-worker work-stealing tally surfaced in --summary-json.
   std::size_t jobs_pulled = 0;
+  /// Two-stage pruned-mode accounting (SweepOptions::prune_top_k).
+  struct ModelStats {
+    bool enabled = false;       ///< prune_top_k > 0 on this run.
+    std::size_t top_k = 0;      ///< requested frontier size (configs).
+    std::size_t estimated = 0;  ///< grid points scored by the model.
+    std::size_t pruned = 0;     ///< slots filled with model estimates only.
+    /// Rank agreement between model and simulation over the simulated
+    /// frontier configs: Spearman correlation of mean-IPC ranks
+    /// (tie-averaged) and the overlap of the two top-3 config sets.
+    double spearman = 0.0;
+    std::size_t top3_overlap = 0;
+  };
+  ModelStats model;
   /// Per-phase wall-clock spans, summed over all jobs of this run.
   PhaseSeconds phases;
   /// Simulate span per scheme label, summed over all jobs (cache-served

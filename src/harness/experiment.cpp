@@ -233,7 +233,7 @@ TraceExperiment::TraceExperiment(const workload::WorkloadProfile& profile,
 
 TraceExperiment::~TraceExperiment() = default;  // ctx_ needs SimContext here
 
-RunResult TraceExperiment::run(const SchemeSpec& spec) {
+RunResult TraceExperiment::eval_spec(const SchemeSpec& spec) {
   const Clock::time_point t0 = Clock::now();
   annotate_for_scheme(wl_.program, spec, machine_);
   phases_.annotate_s += seconds_since(t0);
@@ -241,10 +241,73 @@ RunResult TraceExperiment::run(const SchemeSpec& spec) {
   return run_annotated(*policy, spec.label(machine_));
 }
 
-RunResult TraceExperiment::run(steer::SteeringPolicy& policy,
-                               const std::string& label) {
+RunResult TraceExperiment::eval_custom(steer::SteeringPolicy& policy,
+                                       const std::string& label) {
   wl_.program.clear_hints();
   return run_annotated(policy, label);
+}
+
+RunResult TraceExperiment::run(const SchemeSpec& spec) {
+  return eval_spec(spec);
+}
+
+RunResult TraceExperiment::run(steer::SteeringPolicy& policy,
+                               const std::string& label) {
+  return eval_custom(policy, label);
+}
+
+std::vector<RunResult> TraceExperiment::run_batch(
+    std::span<const SchemeSpec> specs) {
+  return eval_batch(specs);
+}
+
+std::vector<RunResult> TraceExperiment::evaluate(
+    std::span<const SchemeRequest> requests, std::uint32_t batch_lanes,
+    EvalCounters* counters) {
+  VCSTEER_CHECK(!requests.empty());
+  std::vector<RunResult> results(requests.size());
+  // Coalesce the built-in requests into lane groups of batch_lanes: one
+  // batched pass warms each simulation point once for the whole group
+  // instead of once per scheme, bit-identically. Custom-policy requests
+  // stay singleton (a SchemeSpec cannot describe them), as do leftover
+  // groups of one (nothing to share).
+  std::vector<std::size_t> singleton;
+  std::vector<std::size_t> batchable;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    (requests[i].is_custom() || batch_lanes <= 1 ? singleton : batchable)
+        .push_back(i);
+  }
+  for (std::size_t begin = 0; begin < batchable.size(); begin += batch_lanes) {
+    const std::size_t end = std::min(batchable.size(), begin + batch_lanes);
+    if (end - begin == 1) {
+      singleton.push_back(batchable[begin]);
+      continue;
+    }
+    std::vector<SchemeSpec> specs;
+    specs.reserve(end - begin);
+    for (std::size_t g = begin; g < end; ++g) {
+      specs.push_back(requests[batchable[g]].spec);
+    }
+    std::vector<RunResult> outs = eval_batch(specs);
+    if (counters != nullptr) {
+      ++counters->lane_groups;
+      counters->batched_points += end - begin;
+    }
+    for (std::size_t g = begin; g < end; ++g) {
+      results[batchable[g]] = std::move(outs[g - begin]);
+    }
+  }
+  for (const std::size_t i : singleton) {
+    const SchemeRequest& req = requests[i];
+    if (req.is_custom()) {
+      const auto policy = req.make_policy(machine_);
+      VCSTEER_CHECK_MSG(policy != nullptr, "custom factory returned null");
+      results[i] = eval_custom(*policy, req.custom_tag);
+    } else {
+      results[i] = eval_spec(req.spec);
+    }
+  }
+  return results;
 }
 
 RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
@@ -270,7 +333,7 @@ RunResult TraceExperiment::run_annotated(steer::SteeringPolicy& policy,
   return result;
 }
 
-std::vector<RunResult> TraceExperiment::run_batch(
+std::vector<RunResult> TraceExperiment::eval_batch(
     std::span<const SchemeSpec> specs) {
   VCSTEER_CHECK(!specs.empty());
   VCSTEER_CHECK_MSG(specs.size() <= sim::kMaxBatchLanes,

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -55,10 +56,43 @@ struct SchemeSpec {
   std::string label(const MachineConfig& machine) const;
 };
 
+/// One entry of an evaluation request: a steering configuration. Either a
+/// built-in SchemeSpec, or — when `make_policy` is set — a caller-constructed
+/// hardware policy (no software pass), labelled and cache-keyed by
+/// `custom_tag`, which must encode every parameter of the custom policy.
+/// This is the shared request currency of the evaluation API: sweep grids
+/// (exec::SweepScheme is an alias), eval::Evaluator requests and
+/// TraceExperiment::evaluate all speak it.
+struct SchemeRequest {
+  SchemeSpec spec;
+  std::string custom_tag;
+  std::function<std::unique_ptr<steer::SteeringPolicy>(const MachineConfig&)>
+      make_policy;
+
+  SchemeRequest() = default;
+  SchemeRequest(SchemeSpec s) : spec(s) {}  // NOLINT(google-explicit-constructor)
+  SchemeRequest(std::string tag,
+                std::function<std::unique_ptr<steer::SteeringPolicy>(
+                    const MachineConfig&)> factory)
+      : custom_tag(std::move(tag)), make_policy(std::move(factory)) {}
+
+  bool is_custom() const { return static_cast<bool>(make_policy); }
+  /// RunResult::scheme for this request: the custom tag, or the spec label.
+  std::string label(const MachineConfig& machine) const {
+    return is_custom() ? custom_tag : spec.label(machine);
+  }
+};
+
 /// PinPoints-weighted result of one (trace, machine, scheme) evaluation.
 struct RunResult {
   std::string trace;
   std::string scheme;
+  /// Which evaluation backend produced this result: "sim" (cycle-accurate
+  /// TraceExperiment — the default, and the only value the golden fixtures
+  /// ever carry) or "model" (the src/model/ critical-path estimator).
+  /// Serialised in the results JSON and the cache entry; part of the cache
+  /// key namespace so model estimates can never alias simulation results.
+  std::string source = "sim";
   double ipc = 0.0;
   double copies_per_kuop = 0.0;
   double alloc_stalls_per_kuop = 0.0;
@@ -110,33 +144,56 @@ struct PhaseTimes {
   }
 };
 
+/// Batch/singleton execution tallies of one TraceExperiment::evaluate call
+/// (surfaced through exec::SweepResult and --summary-json).
+struct EvalCounters {
+  std::size_t lane_groups = 0;    ///< batched groups executed.
+  std::size_t batched_points = 0; ///< results produced by those groups.
+};
+
 class TraceExperiment {
  public:
   TraceExperiment(const workload::WorkloadProfile& profile,
                   const MachineConfig& machine, const SimBudget& budget);
   ~TraceExperiment();
 
-  /// Evaluate one steering configuration (runs its software pass, simulates
-  /// all simulation points, aggregates with PinPoints weights).
-  RunResult run(const SchemeSpec& spec);
+  /// THE evaluation entry point: every request — built-in scheme or custom
+  /// policy — of one (trace, machine) cell in one call. Built-in requests
+  /// are coalesced into batched lane groups of up to `batch_lanes` (one
+  /// interleaved cycle loop warms each simulation point once for the whole
+  /// group); custom-policy requests and leftover groups of one run
+  /// singleton. Results come back in request order and are bit-identical
+  /// for every `batch_lanes`, including 1. `counters` (optional) receives
+  /// the batch-execution tallies.
+  std::vector<RunResult> evaluate(std::span<const SchemeRequest> requests,
+                                  std::uint32_t batch_lanes = 1,
+                                  EvalCounters* counters = nullptr);
 
-  /// Evaluate up to sim::kMaxBatchLanes steering configurations in one
-  /// batched pass: the trace, simulation points and warm-address streams
-  /// are built once (at construction, as always), each scheme annotates a
-  /// private lane copy of the program, and every simulation point advances
-  /// all lanes through one interleaved cycle loop that warms the cache
-  /// hierarchy once per point instead of once per scheme. Results are
-  /// bit-identical to calling run(spec) per scheme, in order.
-  std::vector<RunResult> run_batch(std::span<const SchemeSpec> specs);
+  /// Deprecated single-scheme entry point; use evaluate().
+  [[deprecated("use evaluate()")]] RunResult run(const SchemeSpec& spec);
 
-  /// Evaluate a caller-constructed hardware policy (no software pass; any
-  /// previous hints are cleared). `label` becomes RunResult::scheme. Used by
-  /// exec::SweepRunner for policies a SchemeSpec cannot describe (MOD-N,
-  /// user policies from examples).
-  RunResult run(steer::SteeringPolicy& policy, const std::string& label);
+  /// Deprecated always-batched entry point; use evaluate() with
+  /// batch_lanes >= specs.size(), which produces the same bits.
+  [[deprecated("use evaluate()")]] std::vector<RunResult> run_batch(
+      std::span<const SchemeSpec> specs);
+
+  /// Deprecated caller-constructed-policy entry point; use evaluate() with
+  /// a custom SchemeRequest (tag + factory).
+  [[deprecated("use evaluate()")]] RunResult run(steer::SteeringPolicy& policy,
+                                                 const std::string& label);
 
   const workload::GeneratedWorkload& workload() const { return wl_; }
   const std::vector<workload::SimPoint>& simpoints() const { return points_; }
+  /// Materialised trace interval per simulation point, in point order.
+  const std::vector<std::vector<workload::TraceEntry>>& intervals() const {
+    return intervals_;
+  }
+  /// Memory-op addresses preceding each simulation point (functional cache
+  /// warming), in point order. Consumed by the analytical model, which warms
+  /// its functional caches exactly like the simulator does.
+  const std::vector<std::vector<std::uint64_t>>& warm_addrs() const {
+    return warm_addrs_;
+  }
   const MachineConfig& machine() const { return machine_; }
   /// Wall-clock spans accumulated over this experiment's lifetime
   /// (construction + every run so far).
@@ -152,6 +209,12 @@ class TraceExperiment {
  private:
   /// Weighted simulation of all points under an already-annotated program.
   RunResult run_annotated(steer::SteeringPolicy& policy, std::string label);
+  /// The three execution shapes behind evaluate() (and the deprecated
+  /// shims): one built-in scheme, a batched lane group, a custom policy.
+  RunResult eval_spec(const SchemeSpec& spec);
+  std::vector<RunResult> eval_batch(std::span<const SchemeSpec> specs);
+  RunResult eval_custom(steer::SteeringPolicy& policy,
+                        const std::string& label);
 
   MachineConfig machine_;
   SimBudget budget_;

@@ -14,6 +14,12 @@ const workload::WorkloadProfile& smoke_profile() {
   return *p;
 }
 
+// One request through the evaluation entry point, singleton.
+RunResult run_one(TraceExperiment& experiment, const SchemeRequest& request) {
+  const std::vector<SchemeRequest> requests = {request};
+  return experiment.evaluate(requests)[0];
+}
+
 TEST(SchemeSpec, Labels) {
   const MachineConfig m2 = MachineConfig::two_cluster();
   const MachineConfig m4 = MachineConfig::four_cluster();
@@ -150,7 +156,7 @@ TEST(Experiment, RunsAndAggregates) {
   for (const auto& p : experiment.simpoints()) weight += p.weight;
   EXPECT_NEAR(weight, 1.0, 1e-9);
 
-  const RunResult result = experiment.run({steer::Scheme::kOp, 0});
+  const RunResult result = run_one(experiment, SchemeSpec{steer::Scheme::kOp, 0});
   EXPECT_EQ(result.trace, "186.crafty");
   EXPECT_EQ(result.scheme, "OP");
   EXPECT_GT(result.ipc, 0.1);
@@ -164,8 +170,8 @@ TEST(Experiment, DeterministicAcrossInstances) {
   const MachineConfig machine = MachineConfig::two_cluster();
   TraceExperiment a(smoke_profile(), machine, budget);
   TraceExperiment b(smoke_profile(), machine, budget);
-  const RunResult ra = a.run({steer::Scheme::kVc, 2});
-  const RunResult rb = b.run({steer::Scheme::kVc, 2});
+  const RunResult ra = run_one(a, SchemeSpec{steer::Scheme::kVc, 2});
+  const RunResult rb = run_one(b, SchemeSpec{steer::Scheme::kVc, 2});
   EXPECT_DOUBLE_EQ(ra.ipc, rb.ipc);
   EXPECT_DOUBLE_EQ(ra.copies_per_kuop, rb.copies_per_kuop);
   EXPECT_EQ(ra.cycles, rb.cycles);
@@ -174,23 +180,26 @@ TEST(Experiment, DeterministicAcrossInstances) {
 TEST(Experiment, RerunSameSchemeIsIdempotent) {
   TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
                              SimBudget::smoke());
-  const RunResult first = experiment.run({steer::Scheme::kRhop, 0});
-  experiment.run({steer::Scheme::kOp, 0});  // interleave another scheme
-  const RunResult second = experiment.run({steer::Scheme::kRhop, 0});
+  const RunResult first = run_one(experiment, SchemeSpec{steer::Scheme::kRhop, 0});
+  run_one(experiment, SchemeSpec{steer::Scheme::kOp, 0});  // interleave
+  const RunResult second =
+      run_one(experiment, SchemeSpec{steer::Scheme::kRhop, 0});
   EXPECT_DOUBLE_EQ(first.ipc, second.ipc);
   EXPECT_EQ(first.cycles, second.cycles);
 }
 
-TEST(Experiment, CustomPolicyOverloadMatchesBuiltinPath) {
+TEST(Experiment, CustomPolicyRequestMatchesBuiltinPath) {
   TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
                              SimBudget::smoke());
   // kOneCluster needs no annotations, so routing its policy through the
-  // custom-policy overload must reproduce the built-in path exactly.
-  const RunResult builtin = experiment.run({steer::Scheme::kOneCluster, 0});
-  const auto policy =
-      policy_for_scheme({steer::Scheme::kOneCluster, 0},
-                        MachineConfig::two_cluster());
-  const RunResult custom = experiment.run(*policy, "custom-one");
+  // custom-request path must reproduce the built-in path exactly.
+  const RunResult builtin =
+      run_one(experiment, SchemeSpec{steer::Scheme::kOneCluster, 0});
+  const SchemeRequest custom_request(
+      "custom-one", [](const MachineConfig& m) {
+        return policy_for_scheme({steer::Scheme::kOneCluster, 0}, m);
+      });
+  const RunResult custom = run_one(experiment, custom_request);
   EXPECT_EQ(custom.scheme, "custom-one");
   EXPECT_EQ(custom.trace, builtin.trace);
   EXPECT_EQ(custom.cycles, builtin.cycles);
@@ -198,14 +207,15 @@ TEST(Experiment, CustomPolicyOverloadMatchesBuiltinPath) {
   EXPECT_EQ(custom.num_points, builtin.num_points);
 }
 
-TEST(Experiment, CustomPolicyOverloadClearsHints) {
+TEST(Experiment, CustomPolicyRequestClearsHints) {
   TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
                              SimBudget::smoke());
-  const auto policy = policy_for_scheme({steer::Scheme::kOneCluster, 0},
-                                        MachineConfig::two_cluster());
-  const RunResult clean = experiment.run(*policy, "one");
-  experiment.run({steer::Scheme::kVc, 2});  // leaves VC hints behind
-  const RunResult after = experiment.run(*policy, "one");
+  const SchemeRequest one("one", [](const MachineConfig& m) {
+    return policy_for_scheme({steer::Scheme::kOneCluster, 0}, m);
+  });
+  const RunResult clean = run_one(experiment, one);
+  run_one(experiment, SchemeSpec{steer::Scheme::kVc, 2});  // leaves VC hints
+  const RunResult after = run_one(experiment, one);
   EXPECT_EQ(clean.cycles, after.cycles);
   EXPECT_DOUBLE_EQ(clean.ipc, after.ipc);
 }
@@ -213,7 +223,8 @@ TEST(Experiment, CustomPolicyOverloadClearsHints) {
 TEST(Experiment, OneClusterUsesOnlyClusterZero) {
   TraceExperiment experiment(smoke_profile(), MachineConfig::two_cluster(),
                              SimBudget::smoke());
-  const RunResult r = experiment.run({steer::Scheme::kOneCluster, 0});
+  const RunResult r =
+      run_one(experiment, SchemeSpec{steer::Scheme::kOneCluster, 0});
   EXPECT_DOUBLE_EQ(r.copies_per_kuop, 0.0);
   EXPECT_EQ(r.last_interval.dispatched_to[1], 0u);
   EXPECT_GT(r.last_interval.dispatched_to[0], 0u);

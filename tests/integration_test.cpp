@@ -16,6 +16,7 @@ namespace vcsteer {
 namespace {
 
 using harness::RunResult;
+using harness::SchemeRequest;
 using harness::SchemeSpec;
 using harness::SimBudget;
 using harness::TraceExperiment;
@@ -37,11 +38,13 @@ const std::map<std::string, std::vector<RunResult>>& results_for(
       {steer::Scheme::kOb, 0},   {steer::Scheme::kRhop, 0},
       {steer::Scheme::kVc, 2},   {steer::Scheme::kParallelOp, 0},
   };
+  const std::vector<SchemeRequest> requests(specs.begin(), specs.end());
   std::map<std::string, std::vector<RunResult>> results;
   for (const auto& profile : workload::smoke_profiles()) {
     TraceExperiment experiment(profile, machine, SimBudget::smoke());
-    for (const auto& spec : specs) {
-      results[spec.label(machine)].push_back(experiment.run(spec));
+    std::vector<RunResult> runs = experiment.evaluate(requests);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      results[specs[s].label(machine)].push_back(std::move(runs[s]));
     }
   }
   return cache[clusters] = results;
@@ -205,7 +208,9 @@ TEST(EndToEnd, ResultsAreDeterministic) {
   ASSERT_NE(profile, nullptr);
   TraceExperiment experiment(*profile, MachineConfig::two_cluster(),
                              SimBudget::smoke());
-  const RunResult fresh = experiment.run({steer::Scheme::kRhop, 0});
+  const std::vector<SchemeRequest> rhop = {
+      SchemeSpec{steer::Scheme::kRhop, 0}};
+  const RunResult fresh = experiment.evaluate(rhop)[0];
   EXPECT_DOUBLE_EQ(fresh.ipc, cached.ipc);
   EXPECT_EQ(fresh.cycles, cached.cycles);
 }

@@ -1,0 +1,164 @@
+// Property tests for the analytical critical-path model (src/model/).
+//
+// The model's whole value proposition is that it is safe to *rank* design
+// points with: every resource constraint is a k-back lookup into a
+// prefix-maximum stream, so widening any single resource can only move the
+// lookup earlier and never increase the bound. These tests pin that
+// monotonicity over a real generated trace, plus the zero-cost-interconnect
+// collapse that anchors the model's communication charges to zero when the
+// fabric is free.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "harness/experiment.hpp"
+#include "model/critpath.hpp"
+#include "workload/profiles.hpp"
+
+namespace vcsteer::model {
+namespace {
+
+// One shared materialised trace: generation + PinPoints + interval replay
+// dominate test time, and the trace is machine-independent (the machine
+// passed to the constructor only shapes simulation, which never runs here).
+const harness::TraceExperiment& shared_trace() {
+  static const auto* exp = [] {
+    const workload::WorkloadProfile* p = workload::find_profile("186.crafty");
+    EXPECT_NE(p, nullptr);
+    return new harness::TraceExperiment(*p, MachineConfig::two_cluster(),
+                                        harness::SimBudget::smoke());
+  }();
+  return *exp;
+}
+
+// Total predicted cycles over every simulation point of the shared trace,
+// annotated for `scheme` under `machine` (the same software passes the
+// simulator would run).
+std::uint64_t predicted_cycles(const MachineConfig& machine,
+                               steer::Scheme scheme) {
+  const harness::TraceExperiment& exp = shared_trace();
+  prog::Program program = exp.workload().program;
+  harness::annotate_for_scheme(program, {scheme, 0}, machine);
+  std::uint64_t cycles = 0;
+  for (std::size_t i = 0; i < exp.intervals().size(); ++i) {
+    const auto extra = memory_latencies(program, exp.intervals()[i],
+                                        exp.warm_addrs()[i], machine);
+    cycles +=
+        estimate_interval(program, exp.intervals()[i], extra, machine, scheme)
+            .cycles;
+  }
+  return cycles;
+}
+
+TEST(CritPath, Deterministic) {
+  const MachineConfig machine = MachineConfig::two_cluster();
+  EXPECT_EQ(predicted_cycles(machine, steer::Scheme::kOp),
+            predicted_cycles(machine, steer::Scheme::kOp));
+}
+
+TEST(CritPath, EstimateIsPlausible) {
+  const harness::TraceExperiment& exp = shared_trace();
+  const MachineConfig machine = MachineConfig::two_cluster();
+  prog::Program program = exp.workload().program;
+  harness::annotate_for_scheme(program, {steer::Scheme::kOp, 0}, machine);
+  const auto& interval = exp.intervals()[0];
+  const auto extra =
+      memory_latencies(program, interval, exp.warm_addrs()[0], machine);
+  const IntervalEstimate est =
+      estimate_interval(program, interval, extra, machine, steer::Scheme::kOp);
+  EXPECT_EQ(est.committed_uops, interval.size());
+  EXPECT_GT(est.cycles, 0u);
+  // The machine cannot beat its fetch width: cycles >= uops / fetch_width.
+  EXPECT_GE(est.cycles * machine.fetch_width, est.committed_uops);
+}
+
+TEST(CritPath, SingleClusterChargesNoCopies) {
+  const harness::TraceExperiment& exp = shared_trace();
+  MachineConfig machine = MachineConfig::two_cluster();
+  machine.num_clusters = 1;
+  prog::Program program = exp.workload().program;
+  harness::annotate_for_scheme(program, {steer::Scheme::kOneCluster, 0},
+                               machine);
+  const auto extra = memory_latencies(program, exp.intervals()[0],
+                                      exp.warm_addrs()[0], machine);
+  const IntervalEstimate est =
+      estimate_interval(program, exp.intervals()[0], extra, machine,
+                        steer::Scheme::kOneCluster);
+  EXPECT_EQ(est.copies, 0u);
+  EXPECT_EQ(est.copy_hops, 0u);
+}
+
+// Widening any single resource never increases the predicted cycles — for
+// every scheme whose steering the model approximates. Each lambda widens
+// exactly one knob.
+TEST(CritPath, WideningAnySingleResourceNeverIncreasesCycles) {
+  const auto widenings = {
+      +[](MachineConfig& m) { m.iq_int_entries *= 2; },
+      +[](MachineConfig& m) { m.iq_fp_entries *= 2; },
+      +[](MachineConfig& m) { m.iq_copy_entries *= 2; },
+      +[](MachineConfig& m) { m.issue_width_int += 1; },
+      +[](MachineConfig& m) { m.issue_width_fp += 1; },
+      +[](MachineConfig& m) { m.issue_width_copy += 1; },
+      +[](MachineConfig& m) { m.rob_int_entries *= 2; },
+      +[](MachineConfig& m) { m.rob_fp_entries *= 2; },
+      +[](MachineConfig& m) { m.lsq_entries *= 2; },
+      +[](MachineConfig& m) { m.fetch_width += 2; },
+      +[](MachineConfig& m) { m.decode_width_int += 1; },
+      +[](MachineConfig& m) { m.commit_width_int += 1; },
+      +[](MachineConfig& m) { m.interconnect.copies_per_link_cycle += 1; },
+      +[](MachineConfig& m) { m.interconnect.copies_per_link_cycle = ~0u; },
+  };
+  for (const steer::Scheme scheme :
+       {steer::Scheme::kOp, steer::Scheme::kOb, steer::Scheme::kVc}) {
+    // A narrow ring machine, so every constraint above actually binds
+    // somewhere (an ideal fabric would make the bandwidth knobs no-ops).
+    MachineConfig base = MachineConfig::four_cluster();
+    base.interconnect.kind = Topology::kRing;
+    base.interconnect.link_latency = 2;
+    base.interconnect.copies_per_link_cycle = 1;
+    base.iq_int_entries = 16;
+    base.iq_fp_entries = 16;
+    base.lsq_entries = 64;
+    const std::uint64_t baseline = predicted_cycles(base, scheme);
+    int knob = 0;
+    for (const auto widen : widenings) {
+      MachineConfig wide = base;
+      widen(wide);
+      EXPECT_LE(predicted_cycles(wide, scheme), baseline)
+          << "scheme " << static_cast<int>(scheme) << " knob " << knob;
+      ++knob;
+    }
+  }
+}
+
+// A free fabric (zero link latency, unlimited bandwidth) with cluster and
+// front-end resources too large to bind collapses a 4-cluster machine
+// exactly onto the single-cluster bound: copies cost nothing, so clustering
+// cannot be predicted slower than the unified core. This pins the model's
+// copy charge to hops * link_latency with no fixed term. Decode must be
+// oversized too: copies consume decode slots (in the simulator and the
+// model alike) even when the fabric itself is free.
+TEST(CritPath, ZeroCostInterconnectCollapsesToSingleClusterBound) {
+  auto huge = [](MachineConfig m) {
+    m.iq_int_entries = 1u << 20;
+    m.iq_fp_entries = 1u << 20;
+    m.iq_copy_entries = 1u << 20;
+    m.issue_width_int = 1u << 10;
+    m.issue_width_fp = 1u << 10;
+    m.issue_width_copy = 1u << 10;
+    m.decode_width_int = 1u << 10;
+    m.decode_width_fp = 1u << 10;
+    return m;
+  };
+  MachineConfig clustered = huge(MachineConfig::four_cluster());
+  clustered.interconnect.link_latency = 0;
+  clustered.interconnect.copies_per_link_cycle = ~0u;
+  MachineConfig single = huge(MachineConfig::four_cluster());
+  single.num_clusters = 1;
+  EXPECT_EQ(predicted_cycles(clustered, steer::Scheme::kOp),
+            predicted_cycles(single, steer::Scheme::kOneCluster));
+}
+
+}  // namespace
+}  // namespace vcsteer::model

@@ -32,13 +32,16 @@ const SuiteAverages& suite_averages() {
         {steer::Scheme::kRhop, 0},
         {steer::Scheme::kVc, 2},
     };
+    const std::vector<harness::SchemeRequest> requests(specs.begin(),
+                                                       specs.end());
     std::vector<double> slows[4];
     for (const auto& profile : workload::all_profiles()) {
       harness::TraceExperiment experiment(profile, machine, budget);
-      const double base = experiment.run(specs[0]).ipc;
+      const std::vector<harness::RunResult> runs =
+          experiment.evaluate(requests);
+      const double base = runs[0].ipc;
       for (int s = 1; s <= 4; ++s) {
-        slows[s - 1].push_back(
-            stats::slowdown_pct(base, experiment.run(specs[s]).ipc));
+        slows[s - 1].push_back(stats::slowdown_pct(base, runs[s].ipc));
       }
     }
     SuiteAverages out;
@@ -82,11 +85,15 @@ TEST(Regression, FourClusterCopyExcessOfFineVcPartitions) {
   // §5.4: VC(4->4) generates ~28% more copies than VC(2->4).
   const MachineConfig machine = MachineConfig::four_cluster();
   const harness::SimBudget budget = harness::SimBudget::smoke();
+  const std::vector<harness::SchemeRequest> requests = {
+      harness::SchemeSpec{steer::Scheme::kVc, 4},
+      harness::SchemeSpec{steer::Scheme::kVc, 2}};
   double copies44 = 0.0, copies24 = 0.0;
   for (const auto& profile : workload::all_profiles()) {
     harness::TraceExperiment experiment(profile, machine, budget);
-    copies44 += experiment.run({steer::Scheme::kVc, 4}).copies_per_kuop;
-    copies24 += experiment.run({steer::Scheme::kVc, 2}).copies_per_kuop;
+    const std::vector<harness::RunResult> runs = experiment.evaluate(requests);
+    copies44 += runs[0].copies_per_kuop;
+    copies24 += runs[1].copies_per_kuop;
   }
   ASSERT_GT(copies24, 0.0);
   const double excess = (copies44 / copies24 - 1.0) * 100.0;

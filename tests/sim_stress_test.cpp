@@ -169,6 +169,13 @@ void expect_results_equal(const harness::RunResult& a,
 
 harness::SimBudget tiny_budget() { return {60'000, 15'000, 2}; }
 
+// One scheme through the evaluation entry point, singleton (batch_lanes 1).
+harness::RunResult run_one(harness::TraceExperiment& experiment,
+                           const harness::SchemeSpec& spec) {
+  const std::vector<harness::SchemeRequest> requests = {spec};
+  return experiment.evaluate(requests)[0];
+}
+
 // Back-to-back runs of one spec on one experiment reuse the same arena (the
 // second run starts from a reset, not a reconstruction) and must reproduce
 // a fresh experiment's bits exactly.
@@ -179,12 +186,12 @@ TEST(SimContextReuse, RepeatRunMatchesFreshContext) {
   const harness::SchemeSpec spec{steer::Scheme::kOp, 0};
 
   harness::TraceExperiment reused(profile, machine, tiny_budget());
-  const harness::RunResult first = reused.run(spec);
-  const harness::RunResult second = reused.run(spec);
+  const harness::RunResult first = run_one(reused, spec);
+  const harness::RunResult second = run_one(reused, spec);
   expect_results_equal(first, second);
 
   harness::TraceExperiment fresh(profile, machine, tiny_budget());
-  expect_results_equal(first, fresh.run(spec));
+  expect_results_equal(first, run_one(fresh, spec));
 }
 
 // Interleaving schemes through one arena must not leak state between them:
@@ -201,13 +208,13 @@ TEST(SimContextReuse, SchemeInterleavingLeaksNoState) {
   const harness::SchemeSpec vc{steer::Scheme::kVc, 2};
 
   harness::TraceExperiment reused(profile, machine, tiny_budget());
-  const harness::RunResult op_first = reused.run(op);
-  const harness::RunResult vc_between = reused.run(vc);
-  const harness::RunResult op_again = reused.run(op);
+  const harness::RunResult op_first = run_one(reused, op);
+  const harness::RunResult vc_between = run_one(reused, vc);
+  const harness::RunResult op_again = run_one(reused, op);
   expect_results_equal(op_first, op_again);
 
   harness::TraceExperiment fresh(profile, machine, tiny_budget());
-  expect_results_equal(vc_between, fresh.run(vc));
+  expect_results_equal(vc_between, run_one(fresh, vc));
 }
 
 // ----- batched lane-parallel bit-identity ----------------------------------
@@ -319,13 +326,14 @@ TEST(SimBatch, RunBatchMatchesSingletonAnyOrder) {
   const harness::SchemeSpec ob{steer::Scheme::kOb, 0};
 
   harness::TraceExperiment singleton(profile, machine, tiny_budget());
-  const harness::RunResult op_alone = singleton.run(op);
-  const harness::RunResult vc_alone = singleton.run(vc);
-  const harness::RunResult ob_alone = singleton.run(ob);
+  const harness::RunResult op_alone = run_one(singleton, op);
+  const harness::RunResult vc_alone = run_one(singleton, vc);
+  const harness::RunResult ob_alone = run_one(singleton, ob);
 
   harness::TraceExperiment batched(profile, machine, tiny_budget());
-  const std::vector<harness::SchemeSpec> specs{op, vc, ob};
-  const std::vector<harness::RunResult> results = batched.run_batch(specs);
+  const std::vector<harness::SchemeRequest> specs{op, vc, ob};
+  const std::vector<harness::RunResult> results =
+      batched.evaluate(specs, /*batch_lanes=*/3);
   ASSERT_EQ(results.size(), 3u);
   expect_results_equal(results[0], op_alone);
   expect_results_equal(results[1], vc_alone);
@@ -333,9 +341,9 @@ TEST(SimBatch, RunBatchMatchesSingletonAnyOrder) {
 
   // Interleaved (rotated) scheme order: same per-scheme bits.
   harness::TraceExperiment rotated(profile, machine, tiny_budget());
-  const std::vector<harness::SchemeSpec> rotated_specs{vc, ob, op};
+  const std::vector<harness::SchemeRequest> rotated_specs{vc, ob, op};
   const std::vector<harness::RunResult> rotated_results =
-      rotated.run_batch(rotated_specs);
+      rotated.evaluate(rotated_specs, /*batch_lanes=*/3);
   ASSERT_EQ(rotated_results.size(), 3u);
   expect_results_equal(rotated_results[0], vc_alone);
   expect_results_equal(rotated_results[1], ob_alone);
@@ -343,7 +351,8 @@ TEST(SimBatch, RunBatchMatchesSingletonAnyOrder) {
 
   // Arena reuse across batches: the second pass starts from resets, not
   // reconstructions, and must reproduce the first bit-for-bit.
-  const std::vector<harness::RunResult> again = batched.run_batch(specs);
+  const std::vector<harness::RunResult> again =
+      batched.evaluate(specs, /*batch_lanes=*/3);
   ASSERT_EQ(again.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     expect_results_equal(again[i], results[i]);
