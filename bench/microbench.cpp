@@ -18,6 +18,7 @@
 #include "graph/partition.hpp"
 #include "harness/experiment.hpp"
 #include "sim/core.hpp"
+#include "sim/lane_block.hpp"
 #include "sim/sim_batch.hpp"
 #include "sim/sim_context.hpp"
 #include "sim/value_table.hpp"
@@ -212,6 +213,67 @@ void BM_BatchedWakeupSelect(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * lanes.size());
 }
 BENCHMARK(BM_BatchedWakeupSelect);
+
+// The transposed lane block end to end: eight lanes of the same trace
+// advanced by LaneBlock in its default blocked schedule. ns/uop here is the
+// full multi-lane stepping cost — plane gathers, width-8 kernel masks and
+// the phase sweeps included — and is what BENCH_perf.json tracks for the
+// transposed engine.
+void BM_TransposedStep(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(10'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  std::vector<std::unique_ptr<sim::ClusteredCore>> cores;
+  std::vector<std::unique_ptr<steer::SteeringPolicy>> policies;
+  for (std::size_t l = 0; l < sim::kLaneBlockWidth; ++l) {
+    cores.push_back(std::make_unique<sim::ClusteredCore>(cfg, wl.program));
+    policies.push_back(steer::make_policy(steer::Scheme::kOp, cfg));
+  }
+  for (auto _ : state) {
+    sim::LaneBlock<> block;
+    for (std::size_t l = 0; l < cores.size(); ++l) {
+      cores[l]->begin_run(entries, *policies[l]);
+      block.add_lane(*cores[l]);
+    }
+    block.run(sim::kLaneBlockSteps);
+    for (auto& core : cores) {
+      benchmark::DoNotOptimize(core->finish_run().cycles);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * entries.size() * cores.size());
+}
+BENCHMARK(BM_TransposedStep)->Unit(benchmark::kMillisecond);
+
+// The same eight lanes in pure cycle-major lockstep (stride 1): every pass
+// advances each lane one cycle, phases swept across lanes behind the
+// width-8 eligibility masks. The gap to BM_TransposedStep is the cache-
+// locality price of cycle-granular lane interleave.
+void BM_TransposedStepLockstep(benchmark::State& state) {
+  const workload::GeneratedWorkload wl = workload::generate(bench_profile());
+  workload::TraceSource trace(wl);
+  const auto entries = trace.take(10'000);
+  const MachineConfig cfg = MachineConfig::two_cluster();
+  std::vector<std::unique_ptr<sim::ClusteredCore>> cores;
+  std::vector<std::unique_ptr<steer::SteeringPolicy>> policies;
+  for (std::size_t l = 0; l < sim::kLaneBlockWidth; ++l) {
+    cores.push_back(std::make_unique<sim::ClusteredCore>(cfg, wl.program));
+    policies.push_back(steer::make_policy(steer::Scheme::kOp, cfg));
+  }
+  for (auto _ : state) {
+    sim::LaneBlock<> block;
+    for (std::size_t l = 0; l < cores.size(); ++l) {
+      cores[l]->begin_run(entries, *policies[l]);
+      block.add_lane(*cores[l]);
+    }
+    block.run(1);
+    for (auto& core : cores) {
+      benchmark::DoNotOptimize(core->finish_run().cycles);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * entries.size() * cores.size());
+}
+BENCHMARK(BM_TransposedStepLockstep)->Unit(benchmark::kMillisecond);
 
 // Churn on the SoA ValueTable directly: free-list alloc, availability
 // publish (mark_avail), the steer-side mask probe, and free. Unlike

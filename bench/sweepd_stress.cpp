@@ -1,0 +1,314 @@
+// sweepd_stress — many-client round-trip stress bench for vcsteer-sweepd.
+//
+//   sweepd_stress [--clients N] [--requests K] [--entries E]
+//                 [--payload-bytes B] [--listen ADDR] [--cache-dir DIR]
+//                 [--summary-json FILE]
+//
+// Spawns a private vcsteer-sweepd, PUTs E result entries of B bytes to warm
+// its cache, then hammers GET from N concurrent connections (one
+// StoreClient per thread, K requests each, keys cycling over the warm set)
+// and reports round-trip latency percentiles. This is the service-layer
+// counterpart of the simulator microbenches: the daemon serves dozens of
+// sweep workers in --serve/--connect runs, and a p99 regression here means
+// every distributed sweep stalls on store round trips even when the
+// simulation itself is fast.
+//
+// All latencies are wall-clock microseconds measured around
+// StoreClient::get (framing, socket, server dispatch and cache read
+// included). Every GET must hit — a miss or error fails the bench, since a
+// warm-cache read is the one operation whose latency the sweep's assembly
+// pass serialises on.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "net/client.hpp"
+
+namespace {
+
+using namespace vcsteer;
+
+struct StressOptions {
+  std::string listen;     // default: private unix socket under /tmp
+  std::string cache_dir;  // default: private dir under /tmp
+  std::string sweepd;     // default: sibling of this binary
+  unsigned clients = 32;
+  unsigned requests = 200;  // per client
+  unsigned entries = 64;    // warm cache entries
+  std::size_t payload_bytes = 4096;
+  std::string summary_json_path;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--clients N] [--requests K] [--entries E]\n"
+      "          [--payload-bytes B] [--listen ADDR] [--cache-dir DIR]\n"
+      "          [--summary-json FILE]\n"
+      "\n"
+      "Spawns a vcsteer-sweepd, warms its cache with E entries of B bytes,\n"
+      "then runs N client connections issuing K GETs each and reports\n"
+      "round-trip latency percentiles (p50/p90/p99/max, microseconds).\n",
+      argv0);
+  return 2;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// The spawned daemon: fork/exec on start (readiness probed with PING, the
+/// same contract bench_main.hpp's --serve uses), SIGTERM + reap on stop.
+class DaemonProcess {
+ public:
+  ~DaemonProcess() { stop(); }
+
+  bool start(const StressOptions& opt) {
+    std::vector<std::string> argv = {opt.sweepd,        "--listen", opt.listen,
+                                     "--cache-dir", opt.cache_dir};
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      std::perror("fork");
+      return false;
+    }
+    if (pid_ == 0) {
+      std::vector<char*> cargv;
+      cargv.reserve(argv.size() + 1);
+      for (std::string& a : argv) cargv.push_back(a.data());
+      cargv.push_back(nullptr);
+      ::execv(opt.sweepd.c_str(), cargv.data());
+      std::fprintf(stderr, "exec %s failed: %s\n", opt.sweepd.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    net::ClientOptions co;
+    co.connect = opt.listen;
+    co.reconnect_window_s = 10;
+    net::StoreClient probe(co);
+    if (!probe.ping()) {
+      std::fprintf(stderr, "vcsteer-sweepd on %s never answered PING\n",
+                   opt.listen.c_str());
+      stop();
+      return false;
+    }
+    return true;
+  }
+
+  void stop() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+// Keys are canonical cache-key text and carry their trailing newline (the
+// PUT frame's key/result separator is a line that is exactly `--`).
+std::string stress_key(unsigned i) {
+  return "sweepd-stress-" + std::to_string(i) + "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init_log_from_env();
+  StressOptions opt;
+  const std::string pid = std::to_string(::getpid());
+  opt.listen = "unix:/tmp/vcsteer-stress-" + pid + ".sock";
+  opt.cache_dir = "/tmp/vcsteer-stress-" + pid + ".cache";
+  {
+    const std::string exe = argc > 0 ? argv[0] : "";
+    const std::size_t slash = exe.rfind('/');
+    opt.sweepd = slash == std::string::npos
+                     ? "vcsteer-sweepd"
+                     : exe.substr(0, slash + 1) + "vcsteer-sweepd";
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto count = [&](const char* flag) -> unsigned {
+      const char* v = value(flag);
+      const long n = std::strtol(v, nullptr, 10);
+      if (n < 1 || n > 4096) {
+        std::fprintf(stderr, "%s expects 1..4096, got %s\n", flag, v);
+        std::exit(2);
+      }
+      return static_cast<unsigned>(n);
+    };
+    if (arg == "--clients") {
+      opt.clients = count("--clients");
+    } else if (arg == "--requests") {
+      opt.requests = count("--requests");
+    } else if (arg == "--entries") {
+      opt.entries = count("--entries");
+    } else if (arg == "--payload-bytes") {
+      opt.payload_bytes = count("--payload-bytes");
+    } else if (arg == "--listen") {
+      opt.listen = value("--listen");
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = value("--cache-dir");
+    } else if (arg == "--summary-json") {
+      opt.summary_json_path = value("--summary-json");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  ::mkdir(opt.cache_dir.c_str(), 0755);
+
+  DaemonProcess daemon;
+  if (!daemon.start(opt)) return 1;
+
+  // Warm pass: one connection PUTs every entry, then proves them readable.
+  const std::string payload(opt.payload_bytes, 'x');
+  {
+    net::ClientOptions co;
+    co.connect = opt.listen;
+    net::StoreClient warm(co);
+    for (unsigned e = 0; e < opt.entries; ++e) {
+      if (!warm.put(stress_key(e), payload)) {
+        std::fprintf(stderr, "sweepd_stress: warm PUT %u failed\n", e);
+        return 1;
+      }
+    }
+    std::string text;
+    if (warm.get(stress_key(0), &text) != exec::CacheLookup::kHit ||
+        text != payload) {
+      std::fprintf(stderr, "sweepd_stress: warm cache readback failed\n");
+      return 1;
+    }
+  }
+
+  // Stress pass: every client owns a connection; latencies aggregate after
+  // the join (no shared state on the hot path).
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> lat_us(opt.clients);
+  std::atomic<std::uint64_t> errors{0};
+  const Clock::time_point t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opt.clients);
+    for (unsigned c = 0; c < opt.clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::ClientOptions co;
+        co.connect = opt.listen;
+        net::StoreClient client(co);
+        std::vector<double>& lats = lat_us[c];
+        lats.reserve(opt.requests);
+        std::string text;
+        for (unsigned r = 0; r < opt.requests; ++r) {
+          // Spread clients across the warm set so the daemon sees mixed
+          // keys, not one hot file.
+          const std::string key =
+              stress_key((c * opt.requests + r) % opt.entries);
+          const Clock::time_point s = Clock::now();
+          const exec::CacheLookup hit = client.get(key, &text);
+          lats.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - s)
+                  .count());
+          if (hit != exec::CacheLookup::kHit || text.size() != payload.size()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  daemon.stop();
+
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(opt.clients) * opt.requests);
+  for (const std::vector<double>& lats : lat_us) {
+    all.insert(all.end(), lats.begin(), lats.end());
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0;
+  for (const double v : all) sum += v;
+  const double p50 = percentile(all, 0.50);
+  const double p90 = percentile(all, 0.90);
+  const double p99 = percentile(all, 0.99);
+  const double mean = all.empty() ? 0 : sum / static_cast<double>(all.size());
+  const double max = all.empty() ? 0 : all.back();
+  const bool ok = errors.load() == 0 && !all.empty();
+
+  std::printf(
+      "sweepd_stress: %u clients x %u GETs (%u warm entries, %zu B payload)\n"
+      "  round trips: %zu in %.3fs (%.0f req/s)%s\n"
+      "  latency us:  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f  mean %.1f\n",
+      opt.clients, opt.requests, opt.entries, opt.payload_bytes, all.size(),
+      wall_s, wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0,
+      errors.load() == 0 ? ""
+                         : (" (" + std::to_string(errors.load()) +
+                            " errors)").c_str(),
+      p50, p90, p99, max, mean);
+
+  if (!opt.summary_json_path.empty()) {
+    std::ofstream os(opt.summary_json_path);
+    if (!os) {
+      std::fprintf(stderr, "sweepd_stress: cannot write %s\n",
+                   opt.summary_json_path.c_str());
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"sweepd_stress\",\n"
+        "  \"ok\": %s,\n"
+        "  \"clients\": %u,\n"
+        "  \"requests_per_client\": %u,\n"
+        "  \"total_requests\": %zu,\n"
+        "  \"warm_entries\": %u,\n"
+        "  \"payload_bytes\": %zu,\n"
+        "  \"errors\": %llu,\n"
+        "  \"wall_seconds\": %.6f,\n"
+        "  \"requests_per_sec\": %.1f,\n"
+        "  \"latency_us\": {\n"
+        "    \"p50\": %.2f,\n"
+        "    \"p90\": %.2f,\n"
+        "    \"p99\": %.2f,\n"
+        "    \"max\": %.2f,\n"
+        "    \"mean\": %.2f\n"
+        "  }\n"
+        "}\n",
+        ok ? "true" : "false", opt.clients, opt.requests, all.size(),
+        opt.entries, opt.payload_bytes,
+        static_cast<unsigned long long>(errors.load()), wall_s,
+        wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0.0, p50, p90,
+        p99, max, mean);
+    os << buf;
+  }
+  return ok ? 0 : 1;
+}

@@ -34,11 +34,22 @@ class ClusterBackend {
         obs_(obs) {}
 
   /// One cycle of compute-queue issue (INT then FP, issue_width each).
-  void issue() {
+  void issue() { issue_some(/*int_ready=*/true, /*fp_ready=*/true); }
+
+  /// issue() with per-queue ready hints from the ready-summary mask: a
+  /// queue whose ready list is known empty is not visited at all. Visiting
+  /// an empty queue is a no-op, so any hint combination is bit-identical —
+  /// the hints only skip provably idle walks.
+  void issue_some(bool int_ready, bool fp_ready) {
     ClusterState& cl = state_.clusters[cluster_];
-    issue_queue(cl, cl.iq_int, state_.config.issue_width_int,
-                /*fp_queue=*/false);
-    issue_queue(cl, cl.iq_fp, state_.config.issue_width_fp, /*fp_queue=*/true);
+    if (int_ready) {
+      issue_queue(cl, cl.iq_int, state_.config.issue_width_int,
+                  /*fp_queue=*/false);
+    }
+    if (fp_ready) {
+      issue_queue(cl, cl.iq_fp, state_.config.issue_width_fp,
+                  /*fp_queue=*/true);
+    }
   }
 
   std::uint32_t cluster_index() const { return cluster_; }

@@ -57,11 +57,17 @@ class CommitUnit {
     next_seq_ = 0;
     rob_int_used_ = rob_fp_used_ = 0;
     lsq_used_ = 0;
+    maybe_commit_ = false;
     store_records_.clear();
   }
 
   /// Retire completed micro-ops at the ROB head, within the commit widths.
   void commit() {
+    // maybe_commit_ is conservative-true (set by any completion, recomputed
+    // exactly below): when false the head is provably not completed, so the
+    // whole phase — including the ROB ring probe — is skipped. This is the
+    // common case on every cycle between completion events.
+    if (!maybe_commit_) return;
     std::uint32_t int_budget = state_.config.commit_width_int;
     std::uint32_t fp_budget = state_.config.commit_width_fp;
     while (rob_int_used_ + rob_fp_used_ > 0) {
@@ -92,11 +98,17 @@ class CommitUnit {
       }
       ++rob_head_seq_;
     }
+    maybe_commit_ = rob_int_used_ + rob_fp_used_ > 0 &&
+                    rob_[rob_head_seq_ & rob_mask_].completed;
   }
 
   /// Drain completion events up to the current cycle: publish values,
   /// mark ROB entries complete, free cluster-inflight and LSQ slots.
   void complete() {
+    // Event-free cycle: the wheel proves the `cycle` bucket empty without
+    // touching the bucket array (48 KiB of vectors — a guaranteed cache
+    // miss when probed blind every cycle).
+    if (!state_.completions.maybe_due(state_.cycle)) return;
     std::vector<Completion>& due = state_.completions.due(state_.cycle);
     for (const Completion& done : due) {
       if (done.tag != kNoTag) {
@@ -110,6 +122,7 @@ class CommitUnit {
       RobEntry& entry = rob_[done.seq & rob_mask_];
       VCSTEER_DCHECK(!entry.completed);
       entry.completed = true;
+      maybe_commit_ = true;
       ClusterState& cl = state_.clusters[entry.cluster];
       VCSTEER_DCHECK(cl.inflight > 0);
       --cl.inflight;
@@ -158,6 +171,13 @@ class CommitUnit {
            rob_[rob_head_seq_ & rob_mask_].completed;
   }
 
+  /// Conservative head_completed(): false proves the head is not completed;
+  /// true means a completion landed since commit() last recomputed. The
+  /// idle-cycle probe and the transposed lane block use this flag — one
+  /// byte, gatherable into a lane-major plane — instead of the ROB ring
+  /// probe; a stale-true merely steps one extra cycle (bit-identical).
+  bool maybe_commit() const { return maybe_commit_; }
+
  private:
   CoreState& state_;
   Obs& obs_;
@@ -170,6 +190,8 @@ class CommitUnit {
   std::uint64_t next_seq_ = 0;
   std::uint32_t rob_int_used_ = 0;
   std::uint32_t rob_fp_used_ = 0;
+  /// A completion may have made the head retirable (see maybe_commit()).
+  bool maybe_commit_ = false;
 
   std::uint32_t lsq_used_ = 0;
   std::vector<StoreRecord> store_records_;

@@ -80,6 +80,13 @@ struct CopyEntry {
 /// release are O(1); ready_insert scans from the tail, which is short in
 /// practice (dispatch-time inserts carry the youngest seq and append in
 /// O(1); wakeups arrive in rough age order).
+///
+/// A pool can be bound to one bit of a shared ready-summary word
+/// (CoreState::ready_summary): the bit mirrors "ready list nonempty", so
+/// the select phase and the idle-cycle probes test a single register-wide
+/// mask — and the transposed lane block (sim/lane_block.hpp) tests eight
+/// lanes' masks with one SIMD compare — instead of walking every queue's
+/// head pointer.
 template <typename Entry>
 class SlotPool {
  public:
@@ -89,12 +96,19 @@ class SlotPool {
     reset();
   }
 
+  /// Mirror this pool's ready-nonempty state into bit `bit` of `word`.
+  void bind_ready_summary(std::uint32_t* word, std::uint32_t bit) {
+    summary_ = word;
+    summary_bit_ = 1u << bit;
+  }
+
   void reset() {
     // Refill the free list with size-1 .. 0 (alloc pops from the back, so
     // the lowest slot is handed out first) through the dispatched kernel.
     free_.resize(slots_.size());
     kern::ops().iota_rev_u32(free_.data(), free_.size());
     head_ = tail_ = kNilIdx;
+    if (summary_ != nullptr) *summary_ &= ~summary_bit_;
   }
 
   std::uint32_t capacity() const {
@@ -122,6 +136,7 @@ class SlotPool {
   std::uint32_t ready_head() const { return head_; }
 
   void ready_insert(std::uint32_t idx) {
+    if (summary_ != nullptr) *summary_ |= summary_bit_;
     Entry& e = slots_[idx];
     std::uint32_t after = tail_;
     while (after != kNilIdx && e.select_key() < slots_[after].select_key())
@@ -148,6 +163,7 @@ class SlotPool {
     (e.ready_next == kNilIdx ? tail_ : slots_[e.ready_next].ready_prev) =
         e.ready_prev;
     e.ready_prev = e.ready_next = kNilIdx;
+    if (summary_ != nullptr && head_ == kNilIdx) *summary_ &= ~summary_bit_;
   }
 
  private:
@@ -155,6 +171,8 @@ class SlotPool {
   std::vector<std::uint32_t> free_;
   std::uint32_t head_ = kNilIdx;
   std::uint32_t tail_ = kNilIdx;
+  std::uint32_t* summary_ = nullptr;  ///< shared ready-summary word, or null.
+  std::uint32_t summary_bit_ = 0;
 };
 
 /// One cluster's issue queues and occupancy counters.
@@ -212,6 +230,34 @@ class CompletionWheel {
     }
   }
 
+  /// True when the drain at `now` could have work: a ring event may be due
+  /// (min_due_ is a lower bound, so this can be conservatively true) or the
+  /// periodic far-overflow migration falls on this cycle. When false, the
+  /// `now` bucket is provably empty and the completion phase can skip the
+  /// bucket-array access entirely — the hot case on every event-free cycle.
+  bool maybe_due(std::uint64_t now) const {
+    if (!far_.empty() && (now & (kBuckets / 2 - 1)) == 0) return true;
+    return ring_pending_ != 0 && min_due_ <= now;
+  }
+
+  /// Earliest cycle a pending event could be due, for the transposed lane
+  /// block's lane-major next-due plane. Aligned with maybe_due() by
+  /// construction — hint <= now exactly when maybe_due(now) — so a lane
+  /// whose gathered hint lies in the future provably skips its completion
+  /// phase. Ring events bound by min_due_; far-overflow events by their
+  /// next migration cycle (which is `now` itself on a migration boundary).
+  std::uint64_t next_due_hint(std::uint64_t now) const {
+    std::uint64_t due =
+        ring_pending_ != 0 ? min_due_ : kNone;
+    if (!far_.empty()) {
+      const std::uint64_t boundary = (now & (kBuckets / 2 - 1)) == 0
+                                         ? now
+                                         : (now | (kBuckets / 2 - 1)) + 1;
+      if (boundary < due) due = boundary;
+    }
+    return due;
+  }
+
   /// The FIFO of events due exactly at `now`. Also migrates far-overflow
   /// events whose horizon has come within the ring. The caller iterates the
   /// returned bucket (publishes never push new completions) and clears it;
@@ -220,6 +266,13 @@ class CompletionWheel {
     if (!far_.empty() && (now & (kBuckets / 2 - 1)) == 0) migrate(now);
     std::vector<Completion>& bucket = buckets_[now & kMask];
     ring_pending_ -= bucket.size();
+    // Empty probe with a stale-low cursor: every pending ring event is now
+    // proven > now (a due event would sit in this bucket), so advance the
+    // bound — without this, maybe_due() would stay conservatively true and
+    // the fast path would never re-arm after a drain.
+    if (bucket.empty() && ring_pending_ != 0 && min_due_ <= now) {
+      min_due_ = now + 1;
+    }
     return bucket;
   }
 
@@ -335,6 +388,18 @@ struct CoreState {
   const prog::Program& program;
 
   std::vector<ClusterState> clusters;
+
+  /// Ready-list summary: bit (cluster * 3 + kind) is set while that queue's
+  /// ready list is nonempty (kind 0 = INT, 1 = FP, 2 = copy; maintained by
+  /// the bound SlotPools). The select phase iterates only set clusters, the
+  /// idle-cycle probe tests the whole machine with one compare, and the
+  /// transposed lane block (sim/lane_block.hpp) gathers eight lanes' words
+  /// into a lane-major plane for one width-8 eligibility test.
+  std::uint32_t ready_summary = 0;
+  static std::uint32_t ready_bit(std::uint32_t cluster, std::uint32_t kind) {
+    return cluster * 3 + kind;
+  }
+
   /// SoA per-value state (sim/value_table.hpp); owns the tag free list.
   ValueTable values;
 

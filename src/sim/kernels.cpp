@@ -55,10 +55,52 @@ std::uint32_t active_mask_scalar(const std::uint8_t* done, std::size_t n) {
   return mask;
 }
 
+std::uint32_t nonzero_mask_u8_scalar(const std::uint8_t* v, std::size_t n) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] != 0) mask |= 1u << i;
+  }
+  return mask;
+}
+
+std::uint32_t nonzero_mask_u32_scalar(const std::uint32_t* v, std::size_t n) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] != 0) mask |= 1u << i;
+  }
+  return mask;
+}
+
+std::uint32_t due_mask_u64_scalar(const std::uint64_t* cycle,
+                                  const std::uint64_t* due, std::size_t n) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (due[i] <= cycle[i]) mask |= 1u << i;
+  }
+  return mask;
+}
+
+std::uint32_t lane_work_mask_scalar(const std::uint64_t* cycle,
+                                    const std::uint64_t* due,
+                                    const std::uint32_t* ready,
+                                    const std::uint8_t* commit,
+                                    const std::uint8_t* frontend,
+                                    std::size_t n) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ready[i] != 0 || commit[i] != 0 || frontend[i] != 0 ||
+        due[i] <= cycle[i]) {
+      mask |= 1u << i;
+    }
+  }
+  return mask;
+}
+
 constexpr Ops kScalarOps = {
     "scalar",         fill_u64_scalar,    fill_u32_scalar,
     fill_i32_scalar,  iota_rev_u32_scalar, stale_apply_scalar,
-    active_mask_scalar,
+    active_mask_scalar, nonzero_mask_u8_scalar, nonzero_mask_u32_scalar,
+    due_mask_u64_scalar, lane_work_mask_scalar,
 };
 
 #if VCSTEER_HAVE_AVX2_BUILD
@@ -161,9 +203,72 @@ __attribute__((target("avx2"))) std::uint32_t active_mask_avx2(
   return n == 32 ? zero_bytes : zero_bytes & ((1u << n) - 1);
 }
 
+// The lane-plane kernels rely on the LanePlanes contract: fixed width-8
+// arrays, all 8 elements readable, dead lanes masked off by `n`.
+
+__attribute__((target("avx2"))) std::uint32_t nonzero_mask_u8_avx2(
+    const std::uint8_t* v, std::size_t n) {
+  const std::uint32_t lane_mask = n >= 8 ? 0xffu : ((1u << n) - 1u);
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(v));
+  const std::uint32_t zero = static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(b, _mm_setzero_si128())));
+  return ~zero & lane_mask;
+}
+
+__attribute__((target("avx2"))) std::uint32_t nonzero_mask_u32_avx2(
+    const std::uint32_t* v, std::size_t n) {
+  const std::uint32_t lane_mask = n >= 8 ? 0xffu : ((1u << n) - 1u);
+  const __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  const std::uint32_t zero =
+      static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+          _mm256_cmpeq_epi32(w, _mm256_setzero_si256()))));
+  return ~zero & lane_mask;
+}
+
+__attribute__((target("avx2"))) std::uint32_t due_mask_u64_avx2(
+    const std::uint64_t* cycle, const std::uint64_t* due, std::size_t n) {
+  const std::uint32_t lane_mask = n >= 8 ? 0xffu : ((1u << n) - 1u);
+  // due <= cycle unsigned == !(due > cycle) unsigned; bias both by 2^63 to
+  // reuse the signed 64-bit compare (kNone = ~0 then correctly reads
+  // "never due" instead of -1).
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  std::uint32_t gt = 0;
+  for (int half = 0; half < 2; ++half) {
+    const __m256i c = _mm256_xor_si256(
+        _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cycle + half * 4)),
+        bias);
+    const __m256i d = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(due + half * 4)),
+        bias);
+    gt |= static_cast<std::uint32_t>(_mm256_movemask_pd(
+              _mm256_castsi256_pd(_mm256_cmpgt_epi64(d, c))))
+          << (half * 4);
+  }
+  return ~gt & lane_mask;
+}
+
+__attribute__((target("avx2"))) std::uint32_t lane_work_mask_avx2(
+    const std::uint64_t* cycle, const std::uint64_t* due,
+    const std::uint32_t* ready, const std::uint8_t* commit,
+    const std::uint8_t* frontend, std::size_t n) {
+  const std::uint32_t lane_mask = n >= 8 ? 0xffu : ((1u << n) - 1u);
+  const __m128i flags = _mm_or_si128(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(commit)),
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(frontend)));
+  const std::uint32_t flags_zero = static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(flags, _mm_setzero_si128())));
+  return ((~flags_zero & lane_mask) | nonzero_mask_u32_avx2(ready, n) |
+          due_mask_u64_avx2(cycle, due, n)) &
+         lane_mask;
+}
+
 constexpr Ops kAvx2Ops = {
     "avx2",         fill_u64_avx2,    fill_u32_avx2, fill_i32_avx2,
     iota_rev_u32_avx2, stale_apply_avx2, active_mask_avx2,
+    nonzero_mask_u8_avx2, nonzero_mask_u32_avx2, due_mask_u64_avx2,
+    lane_work_mask_avx2,
 };
 #endif  // VCSTEER_HAVE_AVX2_BUILD
 

@@ -46,6 +46,38 @@ struct Ops {
   /// is set when done[l] == 0, for n <= 32 lanes. One vector compare +
   /// movemask under AVX2.
   std::uint32_t (*active_mask)(const std::uint8_t* done, std::size_t n);
+
+  // ----- transposed lane-block kernels (sim/lane_block.hpp) ---------------
+  // These consume the lane-major SoA planes of the transposed stepping
+  // path: fixed width-8 arrays (LanePlanes), of which the first n <= 8
+  // lanes are live. All 8 elements of every plane must be readable — the
+  // AVX2 versions load full vectors and mask the result to n bits.
+
+  /// Bit l set when v[l] != 0 (lane flag planes: maybe-commit, frontend
+  /// activity). One compare + movemask under AVX2.
+  std::uint32_t (*nonzero_mask_u8)(const std::uint8_t* v, std::size_t n);
+
+  /// Bit l set when v[l] != 0 — the width-8 ready-list eligibility test
+  /// over the lanes' ready-summary words (CoreState::ready_summary).
+  std::uint32_t (*nonzero_mask_u32)(const std::uint32_t* v, std::size_t n);
+
+  /// Bit l set when due[l] <= cycle[l] (unsigned) — the width-8
+  /// wheel-drain eligibility test over the lanes' next-due cursors
+  /// (CompletionWheel::next_due_hint; kNone = ~0 compares not-due).
+  std::uint32_t (*due_mask_u64)(const std::uint64_t* cycle,
+                                const std::uint64_t* due, std::size_t n);
+
+  /// Bit l set when lane l provably has pipeline-phase work at its current
+  /// cycle: a nonempty ready list, a retirable ROB head, a due (or
+  /// conservatively due) completion, or front-end fetch/dispatch activity.
+  /// The transposed scheduler uses the complement to route lanes onto the
+  /// idle fast-forward without probing them one by one.
+  std::uint32_t (*lane_work_mask)(const std::uint64_t* cycle,
+                                  const std::uint64_t* due,
+                                  const std::uint32_t* ready,
+                                  const std::uint8_t* commit,
+                                  const std::uint8_t* frontend,
+                                  std::size_t n);
 };
 
 /// The selected dispatch table. First call resolves it: VCSTEER_KERNEL in

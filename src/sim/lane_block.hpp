@@ -1,0 +1,215 @@
+// Transposed multi-lane stepping: one instruction stream advancing up to
+// eight independent simulator lanes.
+//
+// The batched simulator (sim/sim_batch.hpp) holds up to kMaxBatchLanes
+// fully independent lanes — own core, policy and trace, no shared
+// architectural state — so *any* interleaving of their step() calls is
+// bit-identical by construction. The legacy driver exploits that with a
+// blocked round-robin chosen purely for cache locality. This file is the
+// transposed alternative: the per-lane hot cursors (architectural cycle,
+// completion-wheel next-due hint, ready-summary word, maybe-commit and
+// front-end activity flags, done flag) are gathered into lane-major SoA
+// planes (LanePlanes), and the lane-uniform eligibility tests over those
+// planes — wheel-drain due checks, ready-list non-emptiness, retirable-ROB
+// flags, idle-lane detection — run as width-8 SIMD kernels through the
+// kern:: dispatch table (scalar + AVX2, VCSTEER_KERNEL override honoured).
+//
+// Two transposed modes share the planes:
+//
+//  * lockstep (stride 1): every active lane advances one cycle per pass,
+//    cycle-major — each pipeline phase sweeps across all lanes before the
+//    next phase runs, and lanes whose plane entries prove a phase idle
+//    (mask bit clear) skip that phase's call outright. The masks mirror the
+//    phases' own internal fast-path guards exactly, so skipping the call is
+//    bit-identical to making it. This is the faithful "one instruction
+//    stream advancing 8 lanes" schedule; on the fig5 smoke sweep it pays
+//    the known cache-locality penalty of cycle-granular interleave (each
+//    pass touches every lane's working set), so it is pinned by tests and
+//    selectable (VCSTEER_TRANSPOSE=lockstep) rather than the default.
+//  * blocked (stride N): every active lane runs an N-step span per visit —
+//    the locality-optimal schedule, with the lane-done bookkeeping on the
+//    SIMD done plane. The default.
+//
+// Divergent lanes never enter this driver: SimBatchT routes done lanes,
+// non-skip-safe observers (TimelineObserver and friends) and
+// VCSTEER_TRANSPOSE=off runs through the legacy per-lane loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "sim/core.hpp"
+#include "sim/kernels.hpp"
+#include "sim/observer.hpp"
+
+namespace vcsteer::sim {
+
+/// Width of the transposed block — one bit per lane in every kernel mask,
+/// one element per lane in every plane. Matches kMaxBatchLanes.
+inline constexpr std::size_t kLaneBlockWidth = 8;
+
+/// Lane-major SoA planes of the per-lane hot cursors. Fixed width-8 so the
+/// kern:: lane kernels can load whole vectors; dead lanes hold values that
+/// the (1 << n) - 1 result mask removes anyway.
+struct LanePlanes {
+  alignas(32) std::uint64_t cycle[kLaneBlockWidth] = {};
+  alignas(32) std::uint64_t next_due[kLaneBlockWidth] = {};
+  alignas(32) std::uint32_t ready[kLaneBlockWidth] = {};
+  alignas(16) std::uint8_t commit[kLaneBlockWidth] = {};
+  alignas(16) std::uint8_t frontend[kLaneBlockWidth] = {};
+  alignas(16) std::uint8_t done[kLaneBlockWidth] = {};
+};
+
+/// Cycle-major driver over up to kLaneBlockWidth armed cores. The caller
+/// (SimBatchT) arms each core via begin_run first; run() advances every
+/// lane to done(), and steps(i) reports the per-lane step counts for the
+/// batch's wall-clock attribution.
+template <Observer Obs = StatsObserver>
+class LaneBlock {
+ public:
+  static_assert(ClusteredCoreT<Obs>::kSkipIdle,
+                "the transposed block serves cycle-skip-safe observers; "
+                "others keep the per-lane scalar loop");
+
+  void add_lane(ClusteredCoreT<Obs>& core) {
+    VCSTEER_CHECK(n_ < kLaneBlockWidth);
+    cores_[n_] = &core;
+    steps_[n_] = 0;
+    ++n_;
+  }
+
+  std::size_t size() const { return n_; }
+  std::uint64_t steps(std::size_t lane) const { return steps_[lane]; }
+
+  /// Advance every lane to completion. `visit_stride` = 1 selects the pure
+  /// cycle-major lockstep; larger strides give busy lanes that many cycles
+  /// of locality per visit while idle lanes still get single fast-forward
+  /// visits. Any stride is bit-identical (lanes share no state); it is
+  /// purely a locality/scheduling knob.
+  void run(std::uint64_t visit_stride) {
+    const kern::Ops& k = kern::ops();
+    for (std::size_t i = 0; i < n_; ++i) {
+      planes_.done[i] = cores_[i]->done() ? 1 : 0;
+    }
+    std::uint32_t active = k.active_mask(planes_.done, n_);
+    if (visit_stride <= 1) {
+      while (active != 0) active = lockstep_cycle(k, active);
+      return;
+    }
+    // Blocked: every active lane runs a full locality span per visit. A
+    // lane idling before its next event costs nothing extra — its first
+    // step fast-forwards — so shortening idle lanes' visits only fragments
+    // the schedule (measured ~6% slower on the fig5 smoke sweep when idle
+    // lanes got single-step visits).
+    while (active != 0) {
+      for (std::uint32_t m = active; m != 0; m &= m - 1) {
+        const auto i = static_cast<std::size_t>(std::countr_zero(m));
+        steps_[i] += cores_[i]->run_span(visit_stride);
+        planes_.done[i] = cores_[i]->done() ? 1 : 0;
+      }
+      active = k.active_mask(planes_.done, n_) & active;
+    }
+  }
+
+ private:
+  /// Refresh the planes for every lane in `mask`.
+  void gather(std::uint32_t mask) {
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      const ClusteredCoreT<Obs>& core = *cores_[i];
+      planes_.cycle[i] = core.cycle();
+      planes_.next_due[i] = core.next_due_hint();
+      planes_.ready[i] = core.ready_summary();
+      planes_.commit[i] = core.maybe_commit() ? 1 : 0;
+      planes_.frontend[i] = core.frontend_active() ? 1 : 0;
+    }
+  }
+
+  /// One cycle-major pass: each phase sweeps all lanes in `mask` before the
+  /// next phase starts, with per-phase lane masks computed width-8 from the
+  /// planes. Returns the still-active subset.
+  ///
+  /// Mask soundness (each mirrors the phase's own internal guard, so a
+  /// skipped call is a provable no-op):
+  ///  * commit plane — gathered before any phase of this pass runs, exactly
+  ///    the state CommitUnit::commit() would test first; no earlier phase
+  ///    exists in the cycle to invalidate it.
+  ///  * due plane — phase_commit never touches the completion wheel, so the
+  ///    pre-pass gather still bounds maybe_due() when phase_complete runs.
+  ///  * ready plane — REGATHERED after the complete sweep: completions
+  ///    publish values and insert ready entries, and select must see them
+  ///    this cycle (the scalar step() orders complete before select).
+  ///  * dispatch/fetch/cycle-end run unmasked — they carry stall counters
+  ///    and observer hooks every stepped cycle, exactly like step().
+  std::uint32_t lockstep_cycle(const kern::Ops& k, std::uint32_t mask) {
+    // Independent idle fast-forwards first — step()'s preamble. Lanes jump
+    // to different cycles; lockstep is over step iterations, not cycle
+    // values, and lanes share no state.
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->try_skip_idle();
+    }
+    gather(mask);
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_cycle_begin();
+    }
+    // Width-8 work detection across all planes at once: a clear bit proves
+    // the lane has no commit/complete/select work this cycle (it is merely
+    // burning a stall the fast-forward could not jump), so it bypasses the
+    // back-end sweeps — including the per-lane ready regather — wholesale.
+    // Lanes outside `work` cannot gain ready entries during the sweeps:
+    // only their own completions insert ready entries, and they have none
+    // due.
+    const std::uint32_t work =
+        k.lane_work_mask(planes_.cycle, planes_.next_due, planes_.ready,
+                         planes_.commit, planes_.frontend, n_) &
+        mask;
+    std::uint32_t phase = k.nonzero_mask_u8(planes_.commit, n_) & work;
+    for (std::uint32_t m = phase; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_commit();
+    }
+    phase = k.due_mask_u64(planes_.cycle, planes_.next_due, n_) & work;
+    for (std::uint32_t m = phase; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_complete();
+    }
+    // Regather the ready plane post-complete: completions publish values
+    // and insert ready entries, and select must see them this cycle (the
+    // scalar step() orders complete before select). Workless lanes keep
+    // their gathered zeros — correct, per the argument above.
+    for (std::uint32_t m = work; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      planes_.ready[i] = cores_[i]->ready_summary();
+    }
+    phase = k.nonzero_mask_u32(planes_.ready, n_) & work;
+    for (std::uint32_t m = phase; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_select();
+    }
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_dispatch();
+    }
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_fetch();
+    }
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      cores_[i]->phase_cycle_end();
+      ++steps_[i];
+      planes_.done[i] = cores_[i]->done() ? 1 : 0;
+    }
+    return k.active_mask(planes_.done, n_) & mask;
+  }
+
+  ClusteredCoreT<Obs>* cores_[kLaneBlockWidth] = {};
+  std::uint64_t steps_[kLaneBlockWidth] = {};
+  LanePlanes planes_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace vcsteer::sim

@@ -15,26 +15,67 @@
 //   - one pass over a hot shared trace segment while every lane's working
 //     set is resident.
 //
-// The lane loop is blocked round-robin: each round steps every still-active
-// lane up to kLaneBlockSteps times before moving on. Lanes share nothing,
-// so the block size is purely a locality knob — cycle-granular interleave
-// would evict each lane's working set (value table, queues, cache tags)
-// from L1/L2 on every switch, and measures ~40% slower on the fig5 smoke
-// sweep. Any block size produces identical bits.
+// The stepping engine is the transposed lane block (sim/lane_block.hpp)
+// whenever the observer is cycle-skip safe: the per-lane hot cursors live
+// in lane-major SoA planes and the lane-uniform eligibility tests run as
+// width-8 SIMD kernels. Runs whose observer records per-cycle data
+// (TimelineObserver and friends), and runs with VCSTEER_TRANSPOSE=off,
+// keep the legacy per-lane blocked round-robin below. Both engines — and
+// any visit stride — produce identical bits, because lanes share nothing;
+// scheduling is purely a locality knob. Cycle-granular interleave of the
+// legacy loop historically measured ~40% slower on the fig5 smoke sweep,
+// which is why the default transposed mode keeps a blocked stride and
+// VCSTEER_TRANSPOSE=lockstep exists to pin the pure cycle-major path in
+// tests.
 #pragma once
 
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "common/check.hpp"
 #include "sim/core.hpp"
 #include "sim/kernels.hpp"
+#include "sim/lane_block.hpp"
 #include "workload/trace.hpp"
 
 namespace vcsteer::sim {
+
+/// Which stepping engine SimBatchT::run() uses for eligible observers.
+enum class TransposeMode {
+  kBlocked,   ///< transposed lane block, locality stride (the default).
+  kLockstep,  ///< transposed lane block, pure cycle-major (stride 1).
+  kOff,       ///< legacy per-lane blocked round-robin.
+};
+
+/// VCSTEER_TRANSPOSE: unset/"on"/"1" = blocked transposed, "lockstep" =
+/// stride-1 cycle-major, "off"/"0" = legacy loop. Parsed per call (tests
+/// flip it mid-process); garbage warns once and falls back to the default.
+inline TransposeMode transpose_mode() {
+  const char* env = std::getenv("VCSTEER_TRANSPOSE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "on") == 0 ||
+      std::strcmp(env, "1") == 0) {
+    return TransposeMode::kBlocked;
+  }
+  if (std::strcmp(env, "lockstep") == 0) return TransposeMode::kLockstep;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+    return TransposeMode::kOff;
+  }
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "[vcsteer] VCSTEER_TRANSPOSE=%s not recognised "
+                 "(on|off|lockstep); using the transposed default\n",
+                 env);
+  }
+  return TransposeMode::kBlocked;
+}
 
 /// Lane-count ceiling: the active mask is a u32 from the SIMD kernel, and
 /// eight lanes already cover every figure sweep's scheme count.
@@ -112,28 +153,22 @@ class SimBatchT {
     }
     const Clock::time_point t1 = Clock::now();
 
-    std::uint8_t done[kMaxBatchLanes] = {};
-    for (std::size_t i = 0; i < n; ++i) {
-      done[i] = lanes_[i].core->done() ? 1 : 0;
-    }
-    const kern::Ops& k = kern::ops();
-    std::uint32_t active = k.active_mask(done, n);
     std::uint64_t total_steps = 0;
-    while (active != 0) {
-      for (std::uint32_t m = active; m != 0; m &= m - 1) {
-        const auto i = static_cast<std::size_t>(std::countr_zero(m));
-        Lane& ln = lanes_[i];
-        std::uint64_t block = 0;
-        while (block < kLaneBlockSteps && !ln.core->done()) {
-          ln.core->step();
-          ++block;
+    bool transposed = false;
+    if constexpr (ClusteredCoreT<Obs>::kSkipIdle) {
+      const TransposeMode mode = transpose_mode();
+      if (mode != TransposeMode::kOff) {
+        LaneBlock<Obs> block;
+        for (Lane& ln : lanes_) block.add_lane(*ln.core);
+        block.run(mode == TransposeMode::kLockstep ? 1 : kLaneBlockSteps);
+        for (std::size_t i = 0; i < n; ++i) {
+          lanes_[i].steps += block.steps(i);
+          total_steps += block.steps(i);
         }
-        ln.steps += block;
-        total_steps += block;
-        if (ln.core->done()) done[i] = 1;
+        transposed = true;
       }
-      active = k.active_mask(done, n);
     }
+    if (!transposed) run_legacy(total_steps);
     for (Lane& ln : lanes_) ln.stats = ln.core->finish_run();
     const double warm_s = std::chrono::duration<double>(t1 - t0).count();
     const double sim_s =
@@ -149,6 +184,29 @@ class SimBatchT {
   }
 
  private:
+  /// The legacy per-lane blocked round-robin — the fallback engine for
+  /// per-cycle observers and VCSTEER_TRANSPOSE=off (the CI cmp leg).
+  void run_legacy(std::uint64_t& total_steps) {
+    const std::size_t n = lanes_.size();
+    std::uint8_t done[kMaxBatchLanes] = {};
+    for (std::size_t i = 0; i < n; ++i) {
+      done[i] = lanes_[i].core->done() ? 1 : 0;
+    }
+    const kern::Ops& k = kern::ops();
+    std::uint32_t active = k.active_mask(done, n);
+    while (active != 0) {
+      for (std::uint32_t m = active; m != 0; m &= m - 1) {
+        const auto i = static_cast<std::size_t>(std::countr_zero(m));
+        Lane& ln = lanes_[i];
+        const std::uint64_t block = ln.core->run_span(kLaneBlockSteps);
+        ln.steps += block;
+        total_steps += block;
+        if (ln.core->done()) done[i] = 1;
+      }
+      active = k.active_mask(done, n);
+    }
+  }
+
   std::vector<Lane> lanes_;
 };
 

@@ -52,8 +52,22 @@ class SteerStage {
   /// One cycle of dispatch. `view` is the SteerView handed to the policy
   /// (the composed core, so policies see the whole machine).
   void dispatch(steer::SteeringPolicy& policy, const steer::SteerView& view) {
+    if (!frontend_.has_ready(state_.cycle)) {
+      // Empty front-end: nothing can dispatch, so the cycle reduces to the
+      // one stall bump. The pending stale-view deltas stay queued — renames
+      // only happen on dispatch commits and a value's home is fixed at
+      // allocation, so replaying them on the next dispatch-ready cycle
+      // yields identical stale values; and begin_cycle is not consulted
+      // (policies only observe cycles that could dispatch — the idle-cycle
+      // fast-forward already jumps such cycles without it).
+      head_stall_counter_ = nullptr;
+      dispatched_any_ = false;
+      stall(StallReason::kFrontendEmpty, state_.stats.frontend_empty);
+      return;
+    }
     // Bring the cycle-start rename view (parallel-steering ablation) up to
-    // date by replaying last cycle's rename deltas.
+    // date by replaying the rename deltas pending since the last
+    // dispatch-ready cycle.
     state_.refresh_stale_view();
     policy.begin_cycle(view);
 
